@@ -1,0 +1,109 @@
+// Repository-level benchmarks: one per table and figure of the paper's
+// evaluation. Each benchmark regenerates its experiment through the
+// harness registry and reports the headline number (usually a geomean
+// speedup) as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. Row-level output comes from
+// cmd/mtpref ("mtpref run fig10" etc.); see EXPERIMENTS.md for the
+// paper-vs-measured comparison.
+package mtprefetch_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"mtprefetch/internal/harness"
+	"mtprefetch/internal/stats"
+)
+
+// benchConfig keeps the benchmarks fast; shapes are stable across scales.
+func benchConfig() harness.Config {
+	subset := true
+	return harness.Config{Waves: 2, Subset: &subset}
+}
+
+// runExperiment executes a registry entry b.N times and reports rows.
+func runExperiment(b *testing.B, id string) []*stats.Table {
+	b.Helper()
+	e := harness.ByID(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var tables []*stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tables, err = e.Run(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	rows := 0
+	for _, t := range tables {
+		rows += t.NumRows()
+	}
+	b.ReportMetric(float64(rows), "rows")
+	return tables
+}
+
+// geomeanMetric extracts the last row's numeric cells (the geomean row of
+// the speedup tables) and reports the value from the given column label.
+func geomeanMetric(b *testing.B, t *stats.Table, metric string) {
+	b.Helper()
+	s := t.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	last := lines[len(lines)-1]
+	fields := strings.Fields(last)
+	if len(fields) < 2 {
+		return
+	}
+	if v, err := strconv.ParseFloat(fields[len(fields)-1], 64); err == nil {
+		b.ReportMetric(v, metric)
+	}
+}
+
+func BenchmarkTable2Config(b *testing.B)          { runExperiment(b, "table2") }
+func BenchmarkTable3Characteristics(b *testing.B) { runExperiment(b, "table3") }
+func BenchmarkTable4NonIntensive(b *testing.B)    { runExperiment(b, "table4") }
+func BenchmarkTable5Prefetchers(b *testing.B)     { runExperiment(b, "table5") }
+func BenchmarkTable6Cost(b *testing.B)            { runExperiment(b, "table6") }
+
+func BenchmarkFig8MemoryLatency(b *testing.B) { runExperiment(b, "fig8") }
+
+func BenchmarkFig10SoftwarePrefetch(b *testing.B) {
+	tables := runExperiment(b, "fig10")
+	geomeanMetric(b, tables[0], "geomean-mtswp")
+}
+
+func BenchmarkFig11SWPThrottle(b *testing.B) {
+	tables := runExperiment(b, "fig11")
+	geomeanMetric(b, tables[0], "geomean-mtswpT")
+}
+
+func BenchmarkFig12EarlyAndBandwidth(b *testing.B) { runExperiment(b, "fig12") }
+
+func BenchmarkFig13HardwarePrefetchers(b *testing.B) {
+	tables := runExperiment(b, "fig13")
+	geomeanMetric(b, tables[1], "geomean-enhanced-ghb")
+}
+
+func BenchmarkFig14MTHWPAblation(b *testing.B) {
+	tables := runExperiment(b, "fig14")
+	geomeanMetric(b, tables[0], "geomean-mthwp")
+}
+
+func BenchmarkFig15HWThrottle(b *testing.B) {
+	tables := runExperiment(b, "fig15")
+	geomeanMetric(b, tables[0], "geomean-mthwpT")
+}
+
+func BenchmarkFig16CacheSize(b *testing.B) { runExperiment(b, "fig16") }
+func BenchmarkFig17Distance(b *testing.B)  { runExperiment(b, "fig17") }
+func BenchmarkFig18Cores(b *testing.B)     { runExperiment(b, "fig18") }
+
+func BenchmarkGSTableSavings(b *testing.B) { runExperiment(b, "gstable") }
+
+func BenchmarkThresholdSensitivity(b *testing.B) { runExperiment(b, "thresholds") }
+func BenchmarkMTAMLValidation(b *testing.B)      { runExperiment(b, "mtaml") }

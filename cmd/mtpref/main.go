@@ -1,0 +1,103 @@
+// Command mtpref regenerates the evaluation of "Many-Thread Aware
+// Prefetching Mechanisms for GPGPU Applications" (Lee et al., MICRO 2010):
+// every table and figure of the paper maps to one experiment id.
+//
+// Usage:
+//
+//	mtpref list                 # show all experiments
+//	mtpref run <id> [...]       # run selected experiments
+//	mtpref all                  # run everything
+//
+// Flags:
+//
+//	-waves N    scale benchmarks to ~N occupancy waves per core (default 2)
+//	-full       run sensitivity sweeps over the full suite, not the subset
+//	-csv DIR    additionally write each table as <DIR>/<exp>-<n>.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mtprefetch/internal/harness"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: mtpref [-waves N] [-full] [-csv DIR] {list | run <id>... | all}\n")
+	os.Exit(2)
+}
+
+func main() {
+	waves := flag.Int("waves", 2, "occupancy waves per core when scaling benchmarks")
+	full := flag.Bool("full", false, "run sensitivity sweeps on the full suite")
+	csvDir := flag.String("csv", "", "directory to write per-table CSV files into")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	subset := !*full
+	cfg := harness.Config{Waves: *waves, Subset: &subset}
+
+	switch args[0] {
+	case "list":
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-8s %-12s %s\n", e.ID, e.PaperRef, e.Title)
+		}
+	case "all":
+		for _, e := range harness.Experiments() {
+			runOne(&e, cfg, *csvDir)
+		}
+	case "run":
+		if len(args) < 2 {
+			usage()
+		}
+		for _, id := range args[1:] {
+			e := harness.ByID(id)
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "mtpref: unknown experiment %q (try 'mtpref list')\n", id)
+				os.Exit(1)
+			}
+			runOne(e, cfg, *csvDir)
+		}
+	default:
+		usage()
+	}
+}
+
+func runOne(e *harness.Experiment, cfg harness.Config, csvDir string) {
+	start := time.Now()
+	tables, err := e.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mtpref: %s: %v\n", e.ID, err)
+		os.Exit(1)
+	}
+	fmt.Printf("== %s (%s) ==\n", e.ID, e.PaperRef)
+	for i, t := range tables {
+		fmt.Println(t)
+		if csvDir == "" {
+			continue
+		}
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "mtpref:", err)
+			os.Exit(1)
+		}
+		name := e.ID
+		if len(tables) > 1 {
+			name = fmt.Sprintf("%s-%d", e.ID, i+1)
+		}
+		path := filepath.Join(csvDir, name+".csv")
+		content := "# " + strings.ReplaceAll(t.Title(), "\n", " ") + "\n" + t.CSV()
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mtpref:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("[%s completed in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,200 @@
+// Command mttrace is the offline, trace-driven prefetcher workbench:
+// generate per-warp memory traces from the benchmark suite, inspect them,
+// and replay them against any of the implemented hardware prefetchers to
+// compare training algorithms without running the timing simulator.
+//
+// Usage:
+//
+//	mttrace gen    -bench monte -o monte.trace [-order interleaved] [-scale 16]
+//	mttrace stat   monte.trace
+//	mttrace replay -bench monte [-order interleaved] [-scale 16] [-pf all]
+//
+// Replay reports per-prefetcher pattern coverage and accuracy against an
+// idealized zero-latency prefetch cache — the upper bound the timing
+// simulator then erodes with lateness and contention.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mtprefetch/internal/prefetch"
+	"mtprefetch/internal/stats"
+	"mtprefetch/internal/trace"
+	"mtprefetch/internal/workload"
+)
+
+// resolveSpec loads a benchmark by name or, when kernelFile is set, parses
+// a user kernel in the text format of workload.ParseSpec.
+func resolveSpec(bench, kernelFile string, scale int) *workload.Spec {
+	if kernelFile != "" {
+		src, err := os.ReadFile(kernelFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mttrace:", err)
+			os.Exit(1)
+		}
+		s, err := workload.ParseSpec(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mttrace: %s: %v\n", kernelFile, err)
+			os.Exit(1)
+		}
+		return s.Scaled(scale)
+	}
+	return loadSpec(bench, scale)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mttrace {gen|stat|replay} [flags]  (see -h of each subcommand)")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "stat":
+		cmdStat(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func parseOrder(s string) trace.Order {
+	switch s {
+	case "warp-major":
+		return trace.WarpMajor
+	case "interleaved":
+		return trace.Interleaved
+	default:
+		fmt.Fprintf(os.Stderr, "mttrace: unknown order %q (warp-major|interleaved)\n", s)
+		os.Exit(1)
+		return 0
+	}
+}
+
+func loadSpec(name string, scale int) *workload.Spec {
+	s := workload.ByName(name)
+	if s == nil {
+		fmt.Fprintf(os.Stderr, "mttrace: unknown benchmark %q\n", name)
+		os.Exit(1)
+	}
+	return s.Scaled(scale)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	bench := fs.String("bench", "monte", "benchmark name (see workload suite)")
+	kernelFile := fs.String("kernel", "", "custom kernel file (overrides -bench)")
+	out := fs.String("o", "", "output file (required)")
+	order := fs.String("order", "interleaved", "event order: warp-major|interleaved")
+	scale := fs.Int("scale", 16, "grid scale divisor")
+	window := fs.Int("window", 0, "interleave window (default: active warps/core)")
+	fs.Parse(args)
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "mttrace gen: -o is required")
+		os.Exit(1)
+	}
+	spec := resolveSpec(*bench, *kernelFile, *scale)
+	w := *window
+	if w == 0 {
+		w = spec.ActiveWarpsPerCore()
+	}
+	evs := trace.Generate(spec, parseOrder(*order), w, 64)
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mttrace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := trace.Write(f, evs); err != nil {
+		fmt.Fprintln(os.Stderr, "mttrace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d events (%s, %d warps) to %s\n", len(evs), *order, spec.TotalWarps, *out)
+}
+
+func cmdStat(args []string) {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "mttrace stat: one trace file required")
+		os.Exit(1)
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mttrace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	evs, err := trace.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mttrace:", err)
+		os.Exit(1)
+	}
+	warps := map[uint32]bool{}
+	pcs := map[uint32]bool{}
+	txs := 0
+	for i := range evs {
+		warps[evs[i].WarpID] = true
+		pcs[evs[i].PC] = true
+		txs += len(evs[i].Footprint)
+	}
+	fmt.Printf("events:       %d\n", len(evs))
+	fmt.Printf("transactions: %d (%.1f per event)\n", txs, float64(txs)/float64(max(1, len(evs))))
+	fmt.Printf("warps:        %d\n", len(warps))
+	fmt.Printf("static PCs:   %d\n", len(pcs))
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	bench := fs.String("bench", "monte", "benchmark name")
+	kernelFile := fs.String("kernel", "", "custom kernel file (overrides -bench)")
+	order := fs.String("order", "interleaved", "event order: warp-major|interleaved")
+	scale := fs.Int("scale", 16, "grid scale divisor")
+	fs.Parse(args)
+	spec := resolveSpec(*bench, *kernelFile, *scale)
+	evs := trace.Generate(spec, parseOrder(*order), spec.ActiveWarpsPerCore(), 64)
+
+	prefetchers := []struct {
+		name string
+		make func() prefetch.Prefetcher
+	}{
+		{"stride (naive)", func() prefetch.Prefetcher { return prefetch.NewStrideRPT(prefetch.StrideRPTOptions{}) }},
+		{"stride+wid", func() prefetch.Prefetcher { return prefetch.NewStrideRPT(prefetch.StrideRPTOptions{WarpAware: true}) }},
+		{"stridepc (naive)", func() prefetch.Prefetcher { return prefetch.NewStridePC(prefetch.StridePCOptions{}) }},
+		{"stridepc+wid", func() prefetch.Prefetcher { return prefetch.NewStridePC(prefetch.StridePCOptions{WarpAware: true}) }},
+		{"stream+wid", func() prefetch.Prefetcher { return prefetch.NewStream(prefetch.StreamOptions{WarpAware: true}) }},
+		{"ghb+wid", func() prefetch.Prefetcher { return prefetch.NewGHB(prefetch.GHBOptions{WarpAware: true}) }},
+		{"ghb-pcdc+wid", func() prefetch.Prefetcher {
+			return prefetch.NewGHB(prefetch.GHBOptions{PCLocalized: true, WarpAware: true})
+		}},
+		{"mt-hwp", func() prefetch.Prefetcher {
+			return prefetch.NewMTHWP(prefetch.MTHWPOptions{EnableGS: true, EnableIP: true})
+		}},
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("offline replay: %s (%s order, %d events)", spec.Name, *order,
+			len(evs)),
+		"prefetcher", "coverage", "accuracy", "generated")
+	for _, p := range prefetchers {
+		res := trace.Replay(evs, p.make(), 16*1024, 8, 64)
+		t.AddRow(p.name,
+			fmt.Sprintf("%.3f", res.Coverage()),
+			fmt.Sprintf("%.3f", res.Accuracy()),
+			fmt.Sprint(res.PrefetchesGenerated))
+	}
+	fmt.Println(t)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

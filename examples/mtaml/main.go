@@ -1,0 +1,56 @@
+// MTAML: the paper's analytical model of when prefetching helps (Section
+// IV, Figure 7). This example computes the minimum tolerable average
+// memory latency for a benchmark across warp counts, classifies each point
+// as useful / no-effect / useful-or-harmful, and then validates the model
+// against actual simulations at three occupancy levels.
+//
+//	go run ./examples/mtaml
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtprefetch/internal/config"
+	"mtprefetch/internal/core"
+	"mtprefetch/internal/model"
+	"mtprefetch/internal/swpref"
+	"mtprefetch/internal/workload"
+)
+
+func main() {
+	spec := workload.ByName("monte").Scaled(8)
+	a := model.Analyze(spec, 0.8)
+	fmt.Printf("%s: %.0f compute / %.0f memory warp-instructions per warp\n\n",
+		spec.Name, a.CompInst, a.MemInst)
+
+	// Figure 7: MTAML grows linearly with the number of active warps.
+	fmt.Println("warps   MTAML   MTAML_pref   (warp-instruction units, Eqs. 1-4)")
+	for _, w := range []int{2, 4, 8, 16, 24, 32, 48} {
+		fmt.Printf("%5d  %6.1f  %10.1f\n", w,
+			model.MTAML(a.CompInst, a.MemInst, w),
+			model.MTAMLPref(a.CompInst, a.MemInst, w, a.PHit))
+	}
+
+	// Validate: sweep the occupancy limit and compare the model's
+	// classification with what the simulator measures.
+	fmt.Println("\noccupancy sweep (model classification vs measured speedup):")
+	issueCost := config.Baseline().IssueCostALU
+	for _, maxBlk := range []int{1, 2, 4} {
+		s := *spec
+		s.MaxBlocksPerCore = maxBlk
+		base, err := core.Run(core.Options{Workload: &s})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pf, err := core.Run(core.Options{Workload: &s, Software: swpref.MTSWP})
+		if err != nil {
+			log.Fatal(err)
+		}
+		an := model.Analyze(&s, pf.Coverage)
+		cls := an.ClassifyMeasured(base.AvgDemandLatency, pf.AvgDemandLatency, issueCost)
+		fmt.Printf("  %2d warps/core: MTAML=%5.0f lat=%5.0f -> model says %-18s measured speedup %.2fx\n",
+			s.ActiveWarpsPerCore(), an.MTAML, base.AvgDemandLatency/float64(issueCost),
+			cls.String(), pf.Speedup(base))
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: simulate one GPGPU benchmark three ways — no prefetching,
+// the paper's MT-HWP hardware prefetcher, and MT-HWP with adaptive
+// throttling — and print the speedups.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtprefetch/internal/config"
+	"mtprefetch/internal/core"
+	"mtprefetch/internal/prefetch"
+	"mtprefetch/internal/workload"
+)
+
+func main() {
+	// Pick a benchmark from the Table III suite and scale its grid down
+	// so the example finishes in about a second.
+	spec := workload.ByName("mersenne")
+	fmt.Printf("benchmark %s: %d warps in %d blocks, %s-type\n",
+		spec.Name, spec.TotalWarps, spec.Blocks, spec.Class)
+
+	// Baseline machine (Table II) with a throttling period matched to
+	// the short run.
+	cfg := config.Baseline()
+	cfg.ThrottlePeriod = 10_000
+
+	baseline, err := core.Run(core.Options{Config: cfg, Workload: spec})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline:        %8d cycles  CPI %.2f  avg mem latency %.0f\n",
+		baseline.Cycles, baseline.CPI, baseline.AvgDemandLatency)
+
+	mthwp := func() prefetch.Prefetcher {
+		return prefetch.NewMTHWP(prefetch.MTHWPOptions{EnableGS: true, EnableIP: true})
+	}
+
+	hw, err := core.Run(core.Options{Config: cfg, Workload: spec, Hardware: mthwp})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MT-HWP:          %8d cycles  speedup %.2fx  accuracy %.0f%%  coverage %.0f%%\n",
+		hw.Cycles, hw.Speedup(baseline), hw.Accuracy*100, hw.Coverage*100)
+
+	hwT, err := core.Run(core.Options{Config: cfg, Workload: spec, Hardware: mthwp, Throttle: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MT-HWP+throttle: %8d cycles  speedup %.2fx  (throttle periods: %d, fully off: %d)\n",
+		hwT.Cycles, hwT.Speedup(baseline), hwT.ThrottlePeriods, hwT.NoPrefetchPeriods)
+}

@@ -1,0 +1,68 @@
+// Prefetcher zoo: run every implemented hardware prefetcher — the Table V
+// CPU baselines in naive and warp-aware forms, the GHB PC/DC variant, and
+// the paper's MT-HWP ablations — over a few representative benchmarks,
+// side by side. This is Figures 13-15 condensed into one table.
+//
+//	go run ./examples/zoo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtprefetch/internal/core"
+	"mtprefetch/internal/prefetch"
+	"mtprefetch/internal/stats"
+	"mtprefetch/internal/workload"
+)
+
+func main() {
+	zoo := []struct {
+		name string
+		make func() prefetch.Prefetcher
+	}{
+		{"stride", func() prefetch.Prefetcher { return prefetch.NewStrideRPT(prefetch.StrideRPTOptions{}) }},
+		{"stride+wid", func() prefetch.Prefetcher { return prefetch.NewStrideRPT(prefetch.StrideRPTOptions{WarpAware: true}) }},
+		{"stridepc", func() prefetch.Prefetcher { return prefetch.NewStridePC(prefetch.StridePCOptions{}) }},
+		{"stridepc+wid", func() prefetch.Prefetcher { return prefetch.NewStridePC(prefetch.StridePCOptions{WarpAware: true}) }},
+		{"stream+wid", func() prefetch.Prefetcher { return prefetch.NewStream(prefetch.StreamOptions{WarpAware: true}) }},
+		{"ghb+wid", func() prefetch.Prefetcher { return prefetch.NewGHB(prefetch.GHBOptions{WarpAware: true}) }},
+		{"ghb-pcdc+wid", func() prefetch.Prefetcher {
+			return prefetch.NewGHB(prefetch.GHBOptions{WarpAware: true, PCLocalized: true})
+		}},
+		{"pws", func() prefetch.Prefetcher { return prefetch.NewMTHWP(prefetch.MTHWPOptions{}) }},
+		{"pws+gs", func() prefetch.Prefetcher { return prefetch.NewMTHWP(prefetch.MTHWPOptions{EnableGS: true}) }},
+		{"mt-hwp", func() prefetch.Prefetcher {
+			return prefetch.NewMTHWP(prefetch.MTHWPOptions{EnableGS: true, EnableIP: true})
+		}},
+	}
+	benches := []string{"mersenne", "monte", "stream", "cfd", "sepia"}
+
+	headers := append([]string{"prefetcher"}, benches...)
+	t := stats.NewTable("speedup over no-prefetching baseline", headers...)
+
+	baselines := map[string]*core.Result{}
+	specs := map[string]*workload.Spec{}
+	for _, b := range benches {
+		s := workload.ByName(b)
+		specs[b] = s.Scaled(s.Blocks / (14 * s.MaxBlocksPerCore * 2))
+		r, err := core.Run(core.Options{Workload: specs[b]})
+		if err != nil {
+			log.Fatal(err)
+		}
+		baselines[b] = r
+	}
+	for _, z := range zoo {
+		cells := []string{z.name}
+		for _, b := range benches {
+			r, err := core.Run(core.Options{Workload: specs[b], Hardware: z.make})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cells = append(cells, fmt.Sprintf("%.2f", r.Speedup(baselines[b])))
+		}
+		t.AddRow(cells...)
+	}
+	fmt.Println(t)
+	fmt.Println("wid = warp-id-indexed training; pws/gs/ip are the MT-HWP tables.")
+}

@@ -1,0 +1,3 @@
+module mtprefetch
+
+go 1.22

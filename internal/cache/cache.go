@@ -1,0 +1,205 @@
+// Package cache implements the per-core prefetch cache: a set-associative,
+// LRU-replaced block cache that additionally tracks whether each resident
+// block has been used since it was prefetched.
+//
+// The early-eviction counter is the numerator of the paper's primary
+// throttling metric (Eq. 5): a block evicted before its first use was a
+// harmful prefetch — it consumed bandwidth and displaced useful blocks
+// without ever serving a demand.
+package cache
+
+// Stats are the cache's lifetime counters.
+type Stats struct {
+	Hits           uint64 // demand lookups that hit
+	Misses         uint64 // demand lookups that missed
+	Fills          uint64 // blocks inserted
+	Evictions      uint64 // blocks displaced by fills
+	EarlyEvictions uint64 // evicted before first use (harmful prefetches)
+	FirstUses      uint64 // blocks used at least once (useful prefetches)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	used  bool
+	lru   uint64 // last-touch stamp; higher = more recent
+}
+
+// Cache is a set-associative block cache. The zero value is an always-miss
+// cache (zero sets), which models a machine without a prefetch cache.
+type Cache struct {
+	sets      int
+	ways      int
+	blockBits uint
+	setMask   uint64 // sets-1 when sets is a power of two, else 0
+	occupied  int    // valid lines
+	lines     []line // sets*ways, row-major by set
+	stamp     uint64
+	stats     Stats
+}
+
+// New builds a cache with the given geometry. sizeBytes of zero yields an
+// always-miss cache.
+func New(sizeBytes, ways, blockBytes int) *Cache {
+	c := &Cache{ways: ways}
+	for b := blockBytes; b > 1; b >>= 1 {
+		c.blockBits++
+	}
+	if sizeBytes > 0 && ways > 0 {
+		c.sets = sizeBytes / blockBytes / ways
+		c.lines = make([]line, c.sets*ways)
+		if c.sets&(c.sets-1) == 0 {
+			c.setMask = uint64(c.sets - 1)
+		}
+	}
+	return c
+}
+
+// Empty reports whether no block is resident; the hot demand path uses it
+// to skip per-transaction lookups when prefetching is inactive.
+func (c *Cache) Empty() bool { return c.occupied == 0 }
+
+// Sets reports the number of sets (0 for the always-miss cache).
+func (c *Cache) Sets() int { return c.sets }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) set(addr uint64) []line {
+	blk := addr >> c.blockBits
+	var idx int
+	if c.setMask != 0 {
+		idx = int(blk & c.setMask)
+	} else {
+		idx = int(blk % uint64(c.sets))
+	}
+	return c.lines[idx*c.ways : (idx+1)*c.ways]
+}
+
+// Lookup services a demand access: on hit the block is marked used and
+// true is returned. The first use of a prefetched block increments
+// FirstUses (Eq. 5 denominator, "useful prefetches").
+func (c *Cache) Lookup(addr uint64) bool {
+	if c.sets == 0 {
+		c.stats.Misses++
+		return false
+	}
+	set := c.set(addr)
+	tag := addr >> c.blockBits
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.stamp++
+			set[i].lru = c.stamp
+			if !set[i].used {
+				set[i].used = true
+				c.stats.FirstUses++
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Contains reports residency without touching LRU, used bits, or stats
+// (prefetch-candidate filtering must not perturb the replacement state).
+func (c *Cache) Contains(addr uint64) bool {
+	if c.sets == 0 {
+		return false
+	}
+	set := c.set(addr)
+	tag := addr >> c.blockBits
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts a prefetched block. used=true marks blocks that already
+// served a demand on arrival (late prefetches that merged with a demand) so
+// their eventual eviction is not counted as early. It reports whether an
+// unused block was evicted (an early eviction) and, when so, the victim's
+// block address — the input the pollution filter trains on.
+func (c *Cache) Fill(addr uint64, used bool) (earlyEvict bool, victimAddr uint64) {
+	if c.sets == 0 {
+		return false, 0
+	}
+	set := c.set(addr)
+	tag := addr >> c.blockBits
+	c.stamp++
+	// Refresh on duplicate fill.
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.stamp
+			if used && !set[i].used {
+				set[i].used = true
+				c.stats.FirstUses++
+			}
+			return false, 0
+		}
+	}
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if !set[victim].valid {
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		c.stats.Evictions++
+		if !set[victim].used {
+			c.stats.EarlyEvictions++
+			earlyEvict = true
+			victimAddr = set[victim].tag << c.blockBits
+		}
+	} else {
+		c.occupied++
+	}
+	if used {
+		c.stats.FirstUses++
+	}
+	c.stats.Fills++
+	set[victim] = line{tag: tag, valid: true, used: used, lru: c.stamp}
+	return earlyEvict, victimAddr
+}
+
+// Invalidate drops a block if present, reporting whether it was resident.
+// An unused invalidated block counts as an early eviction.
+func (c *Cache) Invalidate(addr uint64) bool {
+	if c.sets == 0 {
+		return false
+	}
+	set := c.set(addr)
+	tag := addr >> c.blockBits
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			if !set[i].used {
+				c.stats.EarlyEvictions++
+			}
+			set[i].valid = false
+			c.occupied--
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid lines, for tests and debugging.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,411 @@
+// Package core assembles the full system and is the library's main entry
+// point: it wires SIMT cores (internal/smcore), the interconnect
+// (internal/noc) and the DRAM system (internal/dram) into a cycle-level
+// GPGPU simulator, applies the software-prefetching transforms and
+// hardware-prefetcher/throttle configuration under study, runs a workload
+// to completion, and reports the measurements the paper's evaluation is
+// built from.
+//
+// Typical use:
+//
+//	res, err := core.Run(core.Options{
+//	    Workload: workload.ByName("backprop"),
+//	    Software: swpref.MTSWP,
+//	    Throttle: true,
+//	})
+//
+// All of Figures 8-18 and Tables III/IV are sweeps over these Options.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mtprefetch/internal/cache"
+	"mtprefetch/internal/config"
+	"mtprefetch/internal/dram"
+	"mtprefetch/internal/memreq"
+	"mtprefetch/internal/mrq"
+	"mtprefetch/internal/noc"
+	"mtprefetch/internal/prefetch"
+	"mtprefetch/internal/smcore"
+	"mtprefetch/internal/stats"
+	"mtprefetch/internal/swpref"
+	"mtprefetch/internal/throttle"
+	"mtprefetch/internal/workload"
+)
+
+// Options selects the machine, the workload, and the prefetching
+// mechanisms for one simulation.
+type Options struct {
+	// Config is the machine description; nil selects config.Baseline().
+	Config *config.Config
+	// Workload is the benchmark to run (required). Use Spec.Scaled to
+	// shrink grids for fast runs.
+	Workload *workload.Spec
+	// Software selects a software-prefetching transform applied to the
+	// kernel before the run (swpref.None for the baseline binary).
+	Software swpref.Mode
+	// SoftwareOptions tunes the transform (distance etc.).
+	SoftwareOptions swpref.Options
+	// Hardware, when non-nil, is called once per core to build its
+	// hardware prefetcher.
+	Hardware func() prefetch.Prefetcher
+	// Throttle enables the adaptive prefetch-throttling engine.
+	Throttle bool
+	// PollutionFilter enables the per-core PC-indexed cache pollution
+	// filter (Zhuang & Lee, Section X-B) as an alternative harm-control
+	// mechanism to throttling.
+	PollutionFilter bool
+	// PerfectMemory makes all memory operations free (the "PMEM" runs of
+	// Tables III/IV).
+	PerfectMemory bool
+	// MaxCycles caps the simulation (default 500M) so configuration bugs
+	// fail loudly instead of hanging.
+	MaxCycles uint64
+}
+
+// Result is the measurement bundle of one simulation.
+type Result struct {
+	Benchmark string
+	Cycles    uint64
+
+	// Instruction counts are warp-instructions summed over all cores.
+	ProgInstructions uint64  // the program's own instructions
+	AllInstructions  uint64  // including software prefetch instructions
+	CPI              float64 // cycles x cores / ProgInstructions
+
+	// Demand-side memory behaviour.
+	DemandTransactions uint64
+	PFCacheHits        uint64  // demand transactions served by the prefetch cache
+	AvgDemandLatency   float64 // cycles, for demands that went to memory
+	MaxDemandLatency   uint64
+
+	// Prefetch behaviour.
+	PrefetchesGenerated uint64
+	PrefetchesIssued    uint64
+	UsefulPrefetches    uint64
+	LatePrefetches      uint64
+	EarlyEvictions      uint64
+	DroppedByThrottle   uint64
+	DroppedByFilter     uint64
+	Accuracy            float64 // useful / issued
+	Coverage            float64 // prefetch-cache hits / demand transactions
+	LateFraction        float64 // late / issued
+	EarlyRate           float64 // early evictions / useful (Eq. 5)
+
+	// Memory-system behaviour.
+	MergeRatio       float64 // intra-core merges / MRQ arrivals (Eq. 6)
+	InterCoreMerges  uint64
+	MemTransactions  uint64 // DRAM accesses actually serviced
+	BytesTransferred uint64
+	RowHitRate       float64
+	L2Hits           uint64 // optional shared L2 (0 when disabled)
+	L2Misses         uint64
+
+	// Throttle behaviour.
+	ThrottlePeriods   uint64
+	NoPrefetchPeriods uint64
+
+	// MT-HWP table behaviour, populated when the hardware prefetcher is
+	// an MT-HWP instance (Section VIII-B).
+	MTHWP prefetch.MTHWPStats
+}
+
+// Speedup is the conventional cycles ratio: baseline.Cycles / r.Cycles.
+func (r *Result) Speedup(baseline *Result) float64 {
+	return stats.SafeDiv(float64(baseline.Cycles), float64(r.Cycles))
+}
+
+// dispatcher deals blocks to cores in order.
+type dispatcher struct {
+	next, total int
+}
+
+func (d *dispatcher) NextBlock() (int, bool) {
+	if d.next >= d.total {
+		return 0, false
+	}
+	b := d.next
+	d.next++
+	return b, true
+}
+
+// Simulator is the assembled machine; use New + Run, or core.Run for the
+// one-shot form.
+type Simulator struct {
+	cfg   *config.Config
+	spec  *workload.Spec
+	cores []*smcore.Core
+	net   *noc.Network
+	mem   *dram.Memory
+	disp  *dispatcher
+	opts  Options
+
+	pending []*memreq.Request // DRAM backpressure buffer
+	rrCore  int
+
+	cycle uint64
+}
+
+// New builds a simulator; see Options.
+func New(o Options) (*Simulator, error) {
+	if o.Workload == nil {
+		return nil, errors.New("core: Options.Workload is required")
+	}
+	if o.Config == nil {
+		o.Config = config.Baseline()
+	}
+	if err := o.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 500_000_000
+	}
+	spec := o.Workload
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec, _ = swpref.Apply(spec, o.Software, o.SoftwareOptions)
+
+	cfg := o.Config
+	s := &Simulator{
+		cfg:  cfg,
+		spec: spec,
+		net:  noc.New(cfg.NOCLatency, cfg.MaxInjectPerCycle()),
+		mem: dram.New(dram.Config{
+			Channels:     cfg.DRAMChannels,
+			Banks:        cfg.DRAMBanks,
+			RowBytes:     cfg.DRAMRowBytes,
+			BlockBytes:   cfg.BlockBytes,
+			QueueSize:    cfg.DRAMQueueSize,
+			TCL:          cfg.DRAMCyclesToCore(cfg.DRAMtCL),
+			TRCD:         cfg.DRAMCyclesToCore(cfg.DRAMtRCD),
+			TRP:          cfg.DRAMCyclesToCore(cfg.DRAMtRP),
+			BusCycles:    cfg.BusCyclesBlock,
+			Overhead:     cfg.DRAMOverhead,
+			AgePromote:   cfg.DRAMAgePromote,
+			L2Bytes:      cfg.L2Bytes,
+			L2Ways:       cfg.L2Ways,
+			L2HitLatency: cfg.L2HitLatency,
+		}),
+		disp: &dispatcher{total: spec.Blocks},
+		opts: o,
+	}
+	for i := 0; i < cfg.NumCores; i++ {
+		var hwp prefetch.Prefetcher
+		if o.Hardware != nil {
+			hwp = o.Hardware()
+		}
+		var filter *prefetch.PollutionFilter
+		if o.PollutionFilter {
+			filter = prefetch.NewPollutionFilter(0)
+		}
+		var eng *throttle.Engine
+		if o.Throttle {
+			eng = throttle.New(throttle.Config{
+				EarlyHigh:  cfg.EarlyHighThresh,
+				EarlyLow:   cfg.EarlyLowThresh,
+				MergeHigh:  cfg.MergeHighThresh,
+				InitDegree: cfg.ThrottleInitDegree,
+			})
+		}
+		c, err := smcore.New(smcore.Options{
+			ID:         i,
+			Config:     cfg,
+			Spec:       spec,
+			Blocks:     s.disp,
+			HWP:        hwp,
+			Throttle:   eng,
+			Filter:     filter,
+			PerfectMem: o.PerfectMemory,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, c)
+	}
+	return s, nil
+}
+
+// Run advances the machine until the grid completes and the memory system
+// drains, then returns the measurements.
+func (s *Simulator) Run() (*Result, error) {
+	var respBuf, reqBuf []*memreq.Request
+	for ; s.cycle < s.opts.MaxCycles; s.cycle++ {
+		cyc := s.cycle
+
+		// 1. Memory responses reach their cores.
+		respBuf = s.net.ArrivedResponses(cyc, respBuf[:0])
+		for _, r := range respBuf {
+			s.cores[r.CoreID].Fill(cyc, r)
+		}
+
+		// 2. Requests reach the DRAM controllers (with backpressure).
+		if len(s.pending) > 0 {
+			kept := s.pending[:0]
+			for _, r := range s.pending {
+				if !s.mem.Enqueue(cyc, r) {
+					kept = append(kept, r)
+				}
+			}
+			s.pending = kept
+		}
+		reqBuf = s.net.ArrivedRequests(cyc, reqBuf[:0])
+		for _, r := range reqBuf {
+			if !s.mem.Enqueue(cyc, r) {
+				s.pending = append(s.pending, r)
+			}
+		}
+
+		// 3. DRAM advances; completions head back through the network.
+		respBuf = s.mem.Step(cyc, respBuf[:0])
+		for _, r := range respBuf {
+			s.net.InjectResponse(cyc, r)
+		}
+
+		// 4. Cores issue.
+		for _, c := range s.cores {
+			c.Cycle(cyc)
+		}
+
+		// 5. Cores inject MRQ traffic, round-robin, up to the NOC limit.
+		s.inject(cyc)
+
+		// 6. Termination.
+		if cyc%64 == 0 && s.done() {
+			res := s.collect()
+			return res, nil
+		}
+	}
+	if s.done() {
+		return s.collect(), nil
+	}
+	return nil, fmt.Errorf("core: %s did not finish within %d cycles",
+		s.spec.Name, s.opts.MaxCycles)
+}
+
+// pendingLimit throttles NOC injection while the DRAM request buffers are
+// rejecting traffic, propagating backpressure to the cores' MRQs instead
+// of accumulating an unbounded overflow buffer.
+const pendingLimit = 16
+
+func (s *Simulator) inject(cyc uint64) {
+	if len(s.pending) >= pendingLimit {
+		return
+	}
+	n := len(s.cores)
+	budget := s.cfg.MaxInjectPerCycle()
+	idle := 0
+	for budget > 0 && idle < n {
+		c := s.cores[s.rrCore]
+		s.rrCore = (s.rrCore + 1) % n
+		r := c.NextSend()
+		if r == nil {
+			idle++
+			continue
+		}
+		if !s.net.TryInjectRequest(cyc, r) {
+			break
+		}
+		c.PopSend()
+		budget--
+		idle = 0
+	}
+}
+
+func (s *Simulator) done() bool {
+	if s.disp.next < s.disp.total {
+		return false
+	}
+	for _, c := range s.cores {
+		if !c.Idle() {
+			return false
+		}
+	}
+	return s.net.InFlight() == 0 && len(s.pending) == 0 && s.mem.Drained()
+}
+
+func (s *Simulator) collect() *Result {
+	r := &Result{Benchmark: s.spec.Name, Cycles: s.cycle}
+	var cs smcore.Stats
+	var cacheTotal cache.Stats
+	var mrqTotal mrq.Stats
+	var lat stats.Latency
+	var periods, noPref uint64
+	for _, c := range s.cores {
+		st := c.Stats()
+		cs.Instructions += st.Instructions
+		cs.ProgInstructions += st.ProgInstructions
+		cs.DemandTransactions += st.DemandTransactions
+		cs.PFCacheHitTransactions += st.PFCacheHitTransactions
+		cs.PrefetchesGenerated += st.PrefetchesGenerated
+		cs.PrefetchesIssued += st.PrefetchesIssued
+		cs.DroppedThrottle += st.DroppedThrottle
+		cs.DroppedByFilter += st.DroppedByFilter
+		cs.LatePrefetches += st.LatePrefetches
+		lat.Merge(st.DemandLatency)
+		pcs := c.PFCache.Stats()
+		cacheTotal.FirstUses += pcs.FirstUses
+		cacheTotal.EarlyEvictions += pcs.EarlyEvictions
+		ms := c.MRQ.Stats()
+		mrqTotal.Merges += ms.Merges
+		mrqTotal.Demands += ms.Demands
+		mrqTotal.Prefetches += ms.Prefetches
+		mrqTotal.Writebacks += ms.Writebacks
+		if c.Throt != nil {
+			periods += c.Throt.Periods()
+			noPref += c.Throt.NoPrefetchPeriods()
+		}
+		if mt, ok := c.HWP.(*prefetch.MTHWP); ok {
+			ms := mt.Stats()
+			r.MTHWP.Observations += ms.Observations
+			r.MTHWP.PWSAccesses += ms.PWSAccesses
+			r.MTHWP.PWSHits += ms.PWSHits
+			r.MTHWP.GSHits += ms.GSHits
+			r.MTHWP.IPHits += ms.IPHits
+			r.MTHWP.Promotions += ms.Promotions
+		}
+	}
+	r.ProgInstructions = cs.ProgInstructions
+	r.AllInstructions = cs.Instructions
+	r.CPI = stats.SafeDiv(float64(r.Cycles)*float64(s.cfg.NumCores), float64(cs.ProgInstructions))
+	r.DemandTransactions = cs.DemandTransactions
+	r.PFCacheHits = cs.PFCacheHitTransactions
+	r.AvgDemandLatency = lat.Avg()
+	r.MaxDemandLatency = lat.Max
+	r.PrefetchesGenerated = cs.PrefetchesGenerated
+	r.PrefetchesIssued = cs.PrefetchesIssued
+	r.UsefulPrefetches = cacheTotal.FirstUses
+	r.LatePrefetches = cs.LatePrefetches
+	r.EarlyEvictions = cacheTotal.EarlyEvictions
+	r.DroppedByThrottle = cs.DroppedThrottle
+	r.DroppedByFilter = cs.DroppedByFilter
+	r.Accuracy = stats.Ratio(cacheTotal.FirstUses, cs.PrefetchesIssued)
+	if r.Accuracy > 1 {
+		r.Accuracy = 1
+	}
+	r.Coverage = stats.Ratio(cs.PFCacheHitTransactions, cs.DemandTransactions)
+	r.LateFraction = stats.Ratio(cs.LatePrefetches, cs.PrefetchesIssued)
+	r.EarlyRate = stats.Ratio(cacheTotal.EarlyEvictions, cacheTotal.FirstUses)
+	r.MergeRatio = stats.Ratio(mrqTotal.Merges, mrqTotal.TotalArrivals())
+
+	ds := s.mem.Stats()
+	r.InterCoreMerges = ds.InterCoreMerges
+	r.MemTransactions = ds.Demands + ds.Prefetches + ds.Writebacks
+	r.BytesTransferred = r.MemTransactions * uint64(s.cfg.BlockBytes)
+	r.RowHitRate = stats.Ratio(ds.RowHits, ds.RowHits+ds.RowMisses+ds.RowClosed)
+	r.L2Hits, r.L2Misses = ds.L2Hits, ds.L2Misses
+	r.ThrottlePeriods = periods
+	r.NoPrefetchPeriods = noPref
+	return r
+}
+
+// Run is the one-shot convenience: build a Simulator and run it.
+func Run(o Options) (*Result, error) {
+	s, err := New(o)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,315 @@
+// Package dram models the off-chip memory system: per-channel memory
+// controllers with finite request buffers, inter-core request merging
+// (Fig. 2b of the paper), banks with open-row (2KB page) state, FR-FCFS
+// scheduling, and a data bus sized so the aggregate peak bandwidth matches
+// Table II's 57.6 GB/s.
+//
+// Demand requests have strictly higher scheduling priority than prefetch
+// requests (Table II) — the property that lets 100%-accurate prefetches
+// still delay demands and hurt performance (Section IV-B).
+package dram
+
+import (
+	"mtprefetch/internal/cache"
+	"mtprefetch/internal/memreq"
+)
+
+// Config is the memory-system geometry with timings already converted to
+// core cycles (see config.DRAMCyclesToCore).
+type Config struct {
+	Channels   int
+	Banks      int // per channel
+	RowBytes   int
+	BlockBytes int
+	QueueSize  int // request-buffer entries per channel
+	TCL        int // core cycles
+	TRCD       int // core cycles
+	TRP        int // core cycles
+	BusCycles  int // data-bus occupancy per block, core cycles
+	Overhead   int // fixed controller/DRAM-core overhead per access, core cycles
+
+	// AgePromote prevents prefetch starvation: a prefetch that has waited
+	// this many core cycles is scheduled at demand priority. Zero
+	// disables promotion (strict demand-first).
+	AgePromote int
+
+	// L2Bytes, when non-zero, adds a shared L2 cache slice at each memory
+	// controller — the "more complex memory hierarchies" extension the
+	// paper's Section XI leaves to future work. The paper's baseline has
+	// no L2; this is off by default.
+	L2Bytes      int // total bytes, divided evenly across channels
+	L2Ways       int
+	L2HitLatency int // core cycles for an L2 hit, replacing the DRAM access
+}
+
+// Stats are the memory system's lifetime counters.
+type Stats struct {
+	Demands         uint64 // serviced demand reads
+	Prefetches      uint64 // serviced prefetch reads
+	Writebacks      uint64 // serviced writes
+	RowHits         uint64
+	RowMisses       uint64 // row conflict: another row was open
+	RowClosed       uint64 // bank was idle/closed
+	L2Hits          uint64
+	L2Misses        uint64
+	InterCoreMerges uint64 // Fig. 2b merges
+	Rejects         uint64 // enqueue attempts refused by a full buffer
+	BusBusy         uint64 // total core cycles of data-bus occupancy
+}
+
+type entry struct {
+	req     *memreq.Request
+	merged  []*memreq.Request
+	arrive  uint64
+	doneAt  uint64
+	pending bool // scheduled, awaiting completion
+}
+
+type bank struct {
+	openRow int64 // -1 = closed
+	readyAt uint64
+}
+
+type channel struct {
+	queue     []*entry // unscheduled, arrival order
+	inflight  []*entry // scheduled, awaiting doneAt
+	banks     []bank
+	busFreeAt uint64
+	l2        *cache.Cache // nil when no L2 is configured
+}
+
+// Memory is the whole off-chip memory system.
+type Memory struct {
+	cfg       Config
+	rowBlocks uint64
+	chans     []*channel
+	stats     Stats
+}
+
+// New builds the memory system.
+func New(cfg Config) *Memory {
+	m := &Memory{
+		cfg:       cfg,
+		rowBlocks: uint64(cfg.RowBytes / cfg.BlockBytes),
+		chans:     make([]*channel, cfg.Channels),
+	}
+	for i := range m.chans {
+		ch := &channel{banks: make([]bank, cfg.Banks)}
+		for b := range ch.banks {
+			ch.banks[b].openRow = -1
+		}
+		if cfg.L2Bytes > 0 {
+			ch.l2 = cache.New(cfg.L2Bytes/cfg.Channels, cfg.L2Ways, cfg.BlockBytes)
+		}
+		m.chans[i] = ch
+	}
+	return m
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// ChannelOf maps a block address to its channel (block-interleaved).
+func (m *Memory) ChannelOf(addr uint64) int {
+	return int((addr / uint64(m.cfg.BlockBytes)) % uint64(m.cfg.Channels))
+}
+
+// bankRow maps an address to (bank, row) within its channel. Consecutive
+// blocks in a channel fill a row before moving to the next bank, so
+// streaming accesses enjoy row-buffer locality.
+func (m *Memory) bankRow(addr uint64) (int, int64) {
+	chanBlock := addr / uint64(m.cfg.BlockBytes) / uint64(m.cfg.Channels)
+	b := int((chanBlock / m.rowBlocks) % uint64(m.cfg.Banks))
+	row := int64(chanBlock / m.rowBlocks / uint64(m.cfg.Banks))
+	return b, row
+}
+
+// QueueLen reports unscheduled entries queued at a channel.
+func (m *Memory) QueueLen(ch int) int { return len(m.chans[ch].queue) }
+
+// Enqueue offers a request to its channel's buffer at the given cycle. It
+// returns false when the buffer is full (the caller must retry later,
+// modelling backpressure into the interconnect). A request matching an
+// already-buffered block merges instead (inter-core merging).
+func (m *Memory) Enqueue(cycle uint64, r *memreq.Request) bool {
+	ch := m.chans[m.ChannelOf(r.Addr)]
+	if r.Kind != memreq.Writeback {
+		for _, e := range ch.queue {
+			if e.req.Addr == r.Addr && e.req.Kind != memreq.Writeback {
+				m.mergeInto(e, r)
+				return true
+			}
+		}
+		for _, e := range ch.inflight {
+			if e.req.Addr == r.Addr && e.req.Kind != memreq.Writeback {
+				m.mergeInto(e, r)
+				return true
+			}
+		}
+	}
+	if len(ch.queue) >= m.cfg.QueueSize {
+		m.stats.Rejects++
+		return false
+	}
+	ch.queue = append(ch.queue, &entry{req: r, arrive: cycle})
+	return true
+}
+
+func (m *Memory) mergeInto(e *entry, r *memreq.Request) {
+	m.stats.InterCoreMerges++
+	// A demand merging into a buffered prefetch upgrades its priority.
+	if r.Kind == memreq.Demand && e.req.Kind == memreq.Prefetch {
+		e.req.DemandMerged = e.req.DemandMerged || e.req.WasPrefetch
+		e.req.Kind = memreq.Demand
+	}
+	e.merged = append(e.merged, r)
+}
+
+// prio ranks an entry for FR-FCFS with demand priority: lower is better.
+func (m *Memory) prio(cycle uint64, ch *channel, e *entry) int {
+	b, row := m.bankRow(e.req.Addr)
+	hit := ch.banks[b].openRow == row
+	demand := e.req.Kind == memreq.Demand
+	if !demand && m.cfg.AgePromote > 0 && cycle-e.arrive > uint64(m.cfg.AgePromote) {
+		demand = true
+	}
+	switch {
+	case demand && hit:
+		return 0
+	case demand:
+		return 1
+	case hit:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Step advances all channels to the given cycle: it completes finished
+// accesses (appending every satisfied request, including merged ones, to
+// done) and schedules new accesses. Writebacks complete silently and are
+// not appended. The extended done slice is returned.
+func (m *Memory) Step(cycle uint64, done []*memreq.Request) []*memreq.Request {
+	for _, ch := range m.chans {
+		done = m.stepChannel(cycle, ch, done)
+	}
+	return done
+}
+
+// pipelineDepth bounds how many scheduled accesses a channel may hold.
+// It must cover the fixed access-latency window (Overhead/BusCycles deep)
+// or the data bus can never saturate; 32 covers the baseline comfortably
+// while keeping FR-FCFS decisions reasonably late.
+const pipelineDepth = 32
+
+func (m *Memory) stepChannel(cycle uint64, ch *channel, done []*memreq.Request) []*memreq.Request {
+	// Retire completed accesses.
+	for i := 0; i < len(ch.inflight); {
+		e := ch.inflight[i]
+		if e.doneAt > cycle {
+			i++
+			continue
+		}
+		ch.inflight[i] = ch.inflight[len(ch.inflight)-1]
+		ch.inflight = ch.inflight[:len(ch.inflight)-1]
+		if e.req.Kind != memreq.Writeback {
+			done = append(done, e.req)
+		}
+		for _, r := range e.merged {
+			if r.Kind != memreq.Writeback {
+				done = append(done, r)
+			}
+		}
+	}
+	// Schedule at most one new access per call while the pipeline has room.
+	if len(ch.queue) == 0 || len(ch.inflight) >= pipelineDepth {
+		return done
+	}
+	best := -1
+	bestPrio := 4
+	for i, e := range ch.queue {
+		p := m.prio(cycle, ch, e)
+		if p < bestPrio { // ties resolved oldest-first by scan order
+			bestPrio = p
+			best = i
+		}
+		if bestPrio == 0 {
+			break
+		}
+	}
+	e := ch.queue[best]
+	copy(ch.queue[best:], ch.queue[best+1:])
+	ch.queue = ch.queue[:len(ch.queue)-1]
+	// L2 slice: a hit bypasses the banks and the data bus entirely.
+	if ch.l2 != nil && e.req.Kind != memreq.Writeback && ch.l2.Lookup(e.req.Addr) {
+		m.stats.L2Hits++
+		e.doneAt = cycle + uint64(m.cfg.L2HitLatency)
+		ch.inflight = append(ch.inflight, e)
+		return done
+	}
+	if ch.l2 != nil && e.req.Kind != memreq.Writeback {
+		m.stats.L2Misses++
+	}
+	m.service(cycle, ch, e)
+	ch.inflight = append(ch.inflight, e)
+	if ch.l2 != nil {
+		// Fill on the way out (write-allocate for writebacks too); marked
+		// used so L2 evictions never pollute early-eviction accounting.
+		ch.l2.Fill(e.req.Addr, true)
+	}
+	return done
+}
+
+func (m *Memory) service(cycle uint64, ch *channel, e *entry) {
+	b, row := m.bankRow(e.req.Addr)
+	bk := &ch.banks[b]
+	start := cycle
+	if bk.readyAt > start {
+		start = bk.readyAt
+	}
+	var access int
+	switch {
+	case bk.openRow == row:
+		access = m.cfg.TCL
+		m.stats.RowHits++
+	case bk.openRow == -1:
+		access = m.cfg.TRCD + m.cfg.TCL
+		m.stats.RowClosed++
+	default:
+		access = m.cfg.TRP + m.cfg.TRCD + m.cfg.TCL
+		m.stats.RowMisses++
+	}
+	bk.openRow = row
+	bankDone := start + uint64(access)
+	// The fixed overhead is pipeline latency (controller, command queues,
+	// DRAM core), not occupancy: it delays the data without blocking the
+	// bank or the bus.
+	dataReady := bankDone + uint64(m.cfg.Overhead)
+	busStart := dataReady
+	if ch.busFreeAt > busStart {
+		busStart = ch.busFreeAt
+	}
+	busDone := busStart + uint64(m.cfg.BusCycles)
+	ch.busFreeAt = busDone
+	bk.readyAt = bankDone
+	e.doneAt = busDone
+	m.stats.BusBusy += uint64(m.cfg.BusCycles)
+	switch e.req.Kind {
+	case memreq.Demand:
+		m.stats.Demands++
+	case memreq.Prefetch:
+		m.stats.Prefetches++
+	case memreq.Writeback:
+		m.stats.Writebacks++
+	}
+}
+
+// Drained reports whether no requests remain anywhere in the memory system.
+func (m *Memory) Drained() bool {
+	for _, ch := range m.chans {
+		if len(ch.queue) > 0 || len(ch.inflight) > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,476 @@
+package harness
+
+import (
+	"fmt"
+
+	"mtprefetch/internal/config"
+	"mtprefetch/internal/core"
+	"mtprefetch/internal/prefetch"
+	"mtprefetch/internal/stats"
+	"mtprefetch/internal/swpref"
+	"mtprefetch/internal/workload"
+)
+
+func init() {
+	register("table2", "Baseline processor configuration", "Table II", runTable2)
+	register("table3", "Memory-intensive benchmark characteristics", "Table III", runTable3)
+	register("table4", "Non-memory-intensive benchmarks", "Table IV", runTable4)
+	register("table5", "Evaluated hardware prefetchers", "Table V", runTable5)
+	register("table6", "Hardware cost of MT-HWP", "Table VI", runTable6)
+	register("fig8", "Normalized memory latency and accuracy under SW prefetching", "Figure 8", runFig8)
+	register("fig10", "Software prefetching speedups", "Figure 10", runFig10)
+	register("fig11", "MT-SWP with adaptive throttling", "Figure 11", runFig11)
+	register("fig12", "Early prefetches and bandwidth under MT-SWP throttling", "Figure 12", runFig12)
+	register("fig13", "Hardware prefetchers: naive vs warp-id training", "Figure 13", runFig13)
+	register("fig14", "MT-HWP table ablation", "Figure 14", runFig14)
+	register("fig15", "Hardware prefetching with feedback/throttling", "Figure 15", runFig15)
+	register("fig16", "Prefetch cache size sensitivity", "Figure 16", runFig16)
+	register("fig17", "Prefetch distance sensitivity (MT-HWP)", "Figure 17", runFig17)
+	register("fig18", "Core count sensitivity", "Figure 18", runFig18)
+	register("gstable", "GS-table PWS-access savings on stride-type", "Section VIII-B", runGSTable)
+}
+
+func runTable2(Config) ([]*stats.Table, error) {
+	c := config.Baseline()
+	t := stats.NewTable("Table II — baseline processor configuration", "parameter", "value")
+	t.AddRow("cores", fmt.Sprintf("%d x %d-wide SIMD", c.NumCores, c.SIMDWidth))
+	t.AddRow("warp size", fmt.Sprint(c.WarpSize))
+	t.AddRow("issue occupancy (ALU/IMUL/FDIV)", fmt.Sprintf("%d/%d/%d cycles per warp-instruction",
+		c.IssueCostALU, c.IssueCostIMul, c.IssueCostFDiv))
+	t.AddRow("core / DRAM clock", fmt.Sprintf("%d / %d MHz", c.CoreClockMHz, c.DRAMClockMHz))
+	t.AddRow("interconnect", fmt.Sprintf("%d-cycle fixed latency, 1 req per %d cores per cycle",
+		c.NOCLatency, c.NOCCoresPerInject))
+	t.AddRow("DRAM", fmt.Sprintf("%d channels x %d banks, %dB rows, tCL/tRCD/tRP = %d/%d/%d",
+		c.DRAMChannels, c.DRAMBanks, c.DRAMRowBytes, c.DRAMtCL, c.DRAMtRCD, c.DRAMtRP))
+	t.AddRow("peak bandwidth", fmt.Sprintf("%.1f GB/s", c.BandwidthGBs()))
+	t.AddRow("prefetch cache", fmt.Sprintf("%d KB, %d-way", c.PrefetchCacheBytes/1024, c.PrefetchCacheWays))
+	t.AddRow("prefetch distance/degree", fmt.Sprintf("%d / %d", c.PrefetchDistance, c.PrefetchDegree))
+	t.AddRow("scheduling priority", "demand over prefetch")
+	return []*stats.Table{t}, nil
+}
+
+func runTable3(c Config) ([]*stats.Table, error) {
+	r := newRunner(c)
+	t := stats.NewTable("Table III — memory-intensive benchmark characteristics",
+		"bench", "suite", "type", "warps", "blocks", "maxBlk/core",
+		"baseCPI", "pmemCPI", "paperBase", "paperPMem", "DEL(S/IP)")
+	for _, s := range suite() {
+		base, err := r.baseline(s)
+		if err != nil {
+			return nil, err
+		}
+		pm, err := r.run("pmem/"+s.Name, core.Options{
+			Config: r.machine(), Workload: r.spec(s), PerfectMemory: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(s.Name, s.Suite, s.Class.String(),
+			fmt.Sprint(s.TotalWarps), fmt.Sprint(s.Blocks), fmt.Sprint(s.MaxBlocksPerCore),
+			stats.FormatFloat(base.CPI), stats.FormatFloat(pm.CPI),
+			stats.FormatFloat(s.PaperBaseCPI), stats.FormatFloat(s.PaperPMemCPI),
+			fmt.Sprintf("%d/%d", s.DelStride, s.DelIP))
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runTable4(c Config) ([]*stats.Table, error) {
+	r := newRunner(c)
+	mt := hwMTHWP(true, true, 1)
+	t := stats.NewTable("Table IV — non-memory-intensive benchmarks",
+		"bench", "suite", "baseCPI", "pmemCPI", "hwpCPI", "paperBase", "paperPMem")
+	for _, s := range workload.NonIntensiveSpecs() {
+		base, err := r.baseline(s)
+		if err != nil {
+			return nil, err
+		}
+		pm, err := r.run("pmem/"+s.Name, core.Options{
+			Config: r.machine(), Workload: r.spec(s), PerfectMemory: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		hw, err := r.hardware(s, mt.name, mt.make, false)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(s.Name, s.Suite,
+			stats.FormatFloat(base.CPI), stats.FormatFloat(pm.CPI), stats.FormatFloat(hw.CPI),
+			stats.FormatFloat(s.PaperBaseCPI), stats.FormatFloat(s.PaperPMemCPI))
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runTable5(Config) ([]*stats.Table, error) {
+	t := stats.NewTable("Table V — evaluated hardware prefetchers",
+		"prefetcher", "description", "configuration")
+	t.AddRow("Stride RPT", "region-based stride prefetcher [13]", "1024-entry, 16 region bits")
+	t.AddRow("StridePC", "per-PC stride prefetcher [4,11]", "1024-entry")
+	t.AddRow("Stream", "stream prefetcher [29]", "512-entry")
+	t.AddRow("GHB AC/DC", "global history buffer prefetcher [14,21]", "1024-entry GHB, 12-bit CZone, 128-entry index")
+	t.AddRow("MT-HWP", "this paper", "32-entry PWS + 8-entry GS + 8-entry IP")
+	return []*stats.Table{t}, nil
+}
+
+func runTable6(Config) ([]*stats.Table, error) {
+	t := stats.NewTable("Table VI — hardware cost of MT-HWP",
+		"table", "fields", "bits/entry", "entries", "total bits")
+	total := 0
+	for _, tc := range prefetch.MTHWPCost() {
+		t.AddRow(tc.Name, tc.Fields, fmt.Sprint(tc.BitsPerEntry),
+			fmt.Sprint(tc.Entries), fmt.Sprint(tc.TotalBits()))
+		total += tc.TotalBits()
+	}
+	t.AddRow("total", "", "", "", fmt.Sprintf("%d bits = %d bytes", total, prefetch.MTHWPCostBytes()))
+	return []*stats.Table{t}, nil
+}
+
+func runFig8(c Config) ([]*stats.Table, error) {
+	r := newRunner(c)
+	t := stats.NewTable("Figure 8 — normalized avg memory latency (bar) and prefetch accuracy (circle) under MT-SWP",
+		"bench", "normLatency", "accuracy%")
+	for _, s := range suite() {
+		base, err := r.baseline(s)
+		if err != nil {
+			return nil, err
+		}
+		pf, err := r.software(s, swpref.MTSWP, false)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowValues(s.Name,
+			stats.SafeDiv(pf.AvgDemandLatency, base.AvgDemandLatency),
+			pf.Accuracy*100)
+	}
+	return []*stats.Table{t}, nil
+}
+
+// swSpeedupTable renders one speedup column set for the software figures.
+func swSpeedupTable(r *runner, title string, modes []swpref.Mode, names []string, throttleLast bool) (*stats.Table, error) {
+	headers := append([]string{"bench", "type"}, names...)
+	t := stats.NewTable(title, headers...)
+	var matrix [][]float64
+	for _, s := range suite() {
+		base, err := r.baseline(s)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, 0, len(modes))
+		for i, m := range modes {
+			throttle := throttleLast && i == len(modes)-1
+			pf, err := r.software(s, m, throttle)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pf.Speedup(base))
+		}
+		matrix = append(matrix, row)
+		cells := []string{s.Name, s.Class.String()}
+		for _, v := range row {
+			cells = append(cells, stats.FormatFloat(v))
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"geomean", ""}
+	for i := range names {
+		cells = append(cells, stats.FormatFloat(geomeanColumn(matrix, i)))
+	}
+	t.AddRow(cells...)
+	return t, nil
+}
+
+func runFig10(c Config) ([]*stats.Table, error) {
+	r := newRunner(c)
+	t, err := swSpeedupTable(r,
+		"Figure 10 — software prefetching speedup over no-prefetching baseline",
+		[]swpref.Mode{swpref.Register, swpref.Stride, swpref.IP, swpref.MTSWP},
+		[]string{"register", "stride", "ip", "stride+ip"}, false)
+	if err != nil {
+		return nil, err
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runFig11(c Config) ([]*stats.Table, error) {
+	r := newRunner(c)
+	t, err := swSpeedupTable(r,
+		"Figure 11 — MT-SWP with adaptive prefetch throttling (speedup over baseline)",
+		[]swpref.Mode{swpref.Register, swpref.Stride, swpref.MTSWP, swpref.MTSWP},
+		[]string{"register", "stride", "mt-swp", "mt-swp+T"}, true)
+	if err != nil {
+		return nil, err
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runFig12(c Config) ([]*stats.Table, error) {
+	r := newRunner(c)
+	early := stats.NewTable("Figure 12a — ratio of early prefetches",
+		"bench", "mt-swp", "mt-swp+T")
+	bw := stats.NewTable("Figure 12b — bandwidth consumption normalized to no-prefetching",
+		"bench", "mt-swp", "mt-swp+T")
+	for _, s := range suite() {
+		base, err := r.baseline(s)
+		if err != nil {
+			return nil, err
+		}
+		pf, err := r.software(s, swpref.MTSWP, false)
+		if err != nil {
+			return nil, err
+		}
+		pfT, err := r.software(s, swpref.MTSWP, true)
+		if err != nil {
+			return nil, err
+		}
+		earlyRatio := func(x *core.Result) float64 {
+			return stats.Ratio(x.EarlyEvictions, x.PrefetchesIssued)
+		}
+		early.AddRowValues(s.Name, earlyRatio(pf), earlyRatio(pfT))
+		bw.AddRowValues(s.Name,
+			stats.SafeDiv(float64(pf.BytesTransferred), float64(base.BytesTransferred)),
+			stats.SafeDiv(float64(pfT.BytesTransferred), float64(base.BytesTransferred)))
+	}
+	return []*stats.Table{early, bw}, nil
+}
+
+// hwSpeedupTable renders one speedup table over the full suite for a list
+// of hardware prefetchers.
+func hwSpeedupTable(r *runner, title string, hws []namedHW, throttled []bool) (*stats.Table, error) {
+	headers := []string{"bench", "type"}
+	for i, h := range hws {
+		n := h.name
+		if throttled != nil && throttled[i] {
+			n += "+T"
+		}
+		headers = append(headers, n)
+	}
+	t := stats.NewTable(title, headers...)
+	var matrix [][]float64
+	for _, s := range suite() {
+		base, err := r.baseline(s)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, 0, len(hws))
+		for i, h := range hws {
+			thr := throttled != nil && throttled[i]
+			res, err := r.hardware(s, h.name, h.make, thr)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.Speedup(base))
+		}
+		matrix = append(matrix, row)
+		cells := []string{s.Name, s.Class.String()}
+		for _, v := range row {
+			cells = append(cells, stats.FormatFloat(v))
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"geomean", ""}
+	for i := range hws {
+		cells = append(cells, stats.FormatFloat(geomeanColumn(matrix, i)))
+	}
+	t.AddRow(cells...)
+	return t, nil
+}
+
+func runFig13(c Config) ([]*stats.Table, error) {
+	r := newRunner(c)
+	naive, err := hwSpeedupTable(r,
+		"Figure 13a — hardware prefetchers, original indexing (speedup over baseline)",
+		[]namedHW{hwStrideRPT(false), hwStridePC(false, false), hwStream(false), hwGHB(false, false)}, nil)
+	if err != nil {
+		return nil, err
+	}
+	enhanced, err := hwSpeedupTable(r,
+		"Figure 13b — hardware prefetchers, enhanced warp-id indexing (speedup over baseline)",
+		[]namedHW{hwStrideRPT(true), hwStridePC(true, false), hwStream(true), hwGHB(true, false)}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return []*stats.Table{naive, enhanced}, nil
+}
+
+func runFig14(c Config) ([]*stats.Table, error) {
+	r := newRunner(c)
+	t, err := hwSpeedupTable(r,
+		"Figure 14 — MT-HWP table ablation (speedup over baseline)",
+		[]namedHW{
+			hwGHB(true, false),
+			hwMTHWP(false, false, 1), // PWS only (= enhanced StridePC at MT-HWP sizing)
+			hwMTHWP(true, false, 1),  // PWS+GS
+			hwMTHWP(false, true, 1),  // PWS+IP
+			hwMTHWP(true, true, 1),   // PWS+GS+IP
+		}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runFig15(c Config) ([]*stats.Table, error) {
+	r := newRunner(c)
+	t, err := hwSpeedupTable(r,
+		"Figure 15 — feedback-driven and throttled hardware prefetching (speedup over baseline)",
+		[]namedHW{
+			hwGHB(true, false),
+			hwGHB(true, true), // GHB+F
+			hwStridePC(true, false),
+			hwStridePC(true, true), // StridePC+T
+			hwMTHWP(true, true, 1),
+			hwMTHWP(true, true, 1), // MT-HWP+T (throttled flag below)
+		},
+		[]bool{false, false, false, false, false, true})
+	if err != nil {
+		return nil, err
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runFig16(c Config) ([]*stats.Table, error) {
+	r := newRunner(c)
+	sizes := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	t := stats.NewTable("Figure 16 — sensitivity to prefetch cache size (geomean speedup over baseline)",
+		"sizeKB", "mt-hwp", "mt-hwp+T", "mt-swp", "mt-swp+T")
+	mt := hwMTHWP(true, true, 1)
+	for _, kb := range sizes {
+		cfg := r.machine()
+		cfg.PrefetchCacheBytes = kb * 1024
+		var rows [][]float64
+		for _, s := range r.sweepSuite() {
+			base, err := r.baseline(s)
+			if err != nil {
+				return nil, err
+			}
+			row := make([]float64, 0, 4)
+			for _, mode := range []struct {
+				hw  bool
+				thr bool
+			}{{true, false}, {true, true}, {false, false}, {false, true}} {
+				o := core.Options{Config: cfg, Workload: r.spec(s), Throttle: mode.thr}
+				key := fmt.Sprintf("fig16/%s/%d/%v/%v", s.Name, kb, mode.hw, mode.thr)
+				if mode.hw {
+					o.Hardware = mt.make
+				} else {
+					o.Software = swpref.MTSWP
+				}
+				res, err := r.run(key, o)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, res.Speedup(base))
+			}
+			rows = append(rows, row)
+		}
+		t.AddRowValues(fmt.Sprint(kb),
+			geomeanColumn(rows, 0), geomeanColumn(rows, 1),
+			geomeanColumn(rows, 2), geomeanColumn(rows, 3))
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runFig17(c Config) ([]*stats.Table, error) {
+	r := newRunner(c)
+	distances := []int{1, 3, 5, 7, 9, 11, 13, 15}
+	specs := r.sweepSuite()
+	headers := []string{"bench"}
+	for _, d := range distances {
+		headers = append(headers, fmt.Sprintf("d=%d", d))
+	}
+	t := stats.NewTable("Figure 17 — MT-HWP prefetch distance sensitivity (speedup over baseline)", headers...)
+	var matrix [][]float64
+	for _, s := range specs {
+		base, err := r.baseline(s)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, 0, len(distances))
+		for _, d := range distances {
+			h := hwMTHWP(true, true, d)
+			res, err := r.hardware(s, h.name, h.make, false)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.Speedup(base))
+		}
+		matrix = append(matrix, row)
+		cells := []string{s.Name}
+		for _, v := range row {
+			cells = append(cells, stats.FormatFloat(v))
+		}
+		t.AddRow(cells...)
+	}
+	cells := []string{"geomean"}
+	for i := range distances {
+		cells = append(cells, stats.FormatFloat(geomeanColumn(matrix, i)))
+	}
+	t.AddRow(cells...)
+	return []*stats.Table{t}, nil
+}
+
+func runFig18(c Config) ([]*stats.Table, error) {
+	r := newRunner(c)
+	t := stats.NewTable("Figure 18 — sensitivity to number of cores (geomean speedup over same-core baseline)",
+		"cores", "mt-hwp", "mt-hwp+T", "mt-swp", "mt-swp+T")
+	mt := hwMTHWP(true, true, 1)
+	for cores := 8; cores <= 20; cores += 2 {
+		cfg := r.machine()
+		cfg.NumCores = cores
+		var rows [][]float64
+		for _, s := range r.sweepSuite() {
+			spec := r.spec(s)
+			base, err := r.run(fmt.Sprintf("fig18base/%s/%d", s.Name, cores),
+				core.Options{Config: cfg, Workload: spec})
+			if err != nil {
+				return nil, err
+			}
+			row := make([]float64, 0, 4)
+			for _, mode := range []struct {
+				hw  bool
+				thr bool
+			}{{true, false}, {true, true}, {false, false}, {false, true}} {
+				o := core.Options{Config: cfg, Workload: spec, Throttle: mode.thr}
+				key := fmt.Sprintf("fig18/%s/%d/%v/%v", s.Name, cores, mode.hw, mode.thr)
+				if mode.hw {
+					o.Hardware = mt.make
+				} else {
+					o.Software = swpref.MTSWP
+				}
+				res, err := r.run(key, o)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, res.Speedup(base))
+			}
+			rows = append(rows, row)
+		}
+		t.AddRowValues(fmt.Sprint(cores),
+			geomeanColumn(rows, 0), geomeanColumn(rows, 1),
+			geomeanColumn(rows, 2), geomeanColumn(rows, 3))
+	}
+	return []*stats.Table{t}, nil
+}
+
+func runGSTable(c Config) ([]*stats.Table, error) {
+	r := newRunner(c)
+	t := stats.NewTable("Section VIII-B — PWS accesses saved by the GS table (stride-type)",
+		"bench", "pwsAccesses(noGS)", "pwsAccesses(GS)", "gsHits", "saved%")
+	for _, s := range workload.ByClass(workload.Stride) {
+		noGS := hwMTHWP(false, false, 1)
+		withGS := hwMTHWP(true, false, 1)
+		a, err := r.hardware(s, noGS.name, noGS.make, false)
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.hardware(s, withGS.name, withGS.make, false)
+		if err != nil {
+			return nil, err
+		}
+		saved := 100 * (1 - stats.SafeDiv(float64(b.MTHWP.PWSAccesses), float64(a.MTHWP.PWSAccesses)))
+		t.AddRow(s.Name,
+			fmt.Sprint(a.MTHWP.PWSAccesses), fmt.Sprint(b.MTHWP.PWSAccesses),
+			fmt.Sprint(b.MTHWP.GSHits), stats.FormatFloat(saved))
+	}
+	return []*stats.Table{t}, nil
+}

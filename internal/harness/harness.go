@@ -1,0 +1,263 @@
+// Package harness regenerates the paper's evaluation: one experiment per
+// table and figure, each returning text tables whose rows/series mirror
+// what the paper reports. The cmd/mtpref CLI and the repository-level
+// benchmarks are thin wrappers around this registry.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"mtprefetch/internal/config"
+	"mtprefetch/internal/core"
+	"mtprefetch/internal/prefetch"
+	"mtprefetch/internal/stats"
+	"mtprefetch/internal/swpref"
+	"mtprefetch/internal/workload"
+)
+
+// Config controls experiment scale. The zero value is usable and selects
+// the defaults noted per field.
+type Config struct {
+	// Waves scales each benchmark's grid down to roughly this many full
+	// occupancy waves per core (default 2). Larger values run longer and
+	// reduce warm-up noise; the shapes are stable across scales.
+	Waves int
+	// ThrottlePeriod overrides the Table II 100k-cycle throttling period,
+	// which is far longer than a scaled-down run (default 10k).
+	ThrottlePeriod uint64
+	// Subset restricts the expensive sensitivity sweeps (Figs. 16-18) to
+	// a representative benchmark subset instead of the full suite
+	// (default true).
+	Subset *bool
+}
+
+func (c Config) waves() int {
+	if c.Waves <= 0 {
+		return 2
+	}
+	return c.Waves
+}
+
+func (c Config) throttlePeriod() uint64 {
+	if c.ThrottlePeriod == 0 {
+		return 10_000
+	}
+	return c.ThrottlePeriod
+}
+
+func (c Config) subset() bool {
+	if c.Subset == nil {
+		return true
+	}
+	return *c.Subset
+}
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	ID       string
+	Title    string
+	PaperRef string
+	Run      func(Config) ([]*stats.Table, error)
+}
+
+var registry []Experiment
+
+func register(id, title, ref string, run func(Config) ([]*stats.Table, error)) {
+	registry = append(registry, Experiment{ID: id, Title: title, PaperRef: ref, Run: run})
+}
+
+// Experiments lists the registry in registration (paper) order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID finds an experiment; nil when absent.
+func ByID(id string) *Experiment {
+	for i := range registry {
+		if registry[i].ID == id {
+			return &registry[i]
+		}
+	}
+	return nil
+}
+
+// runner executes simulations with memoisation, so experiments sharing
+// baselines (Figs. 10-15 all normalise to the no-prefetching run) do not
+// repeat them.
+type runner struct {
+	c     Config
+	cache map[string]*core.Result
+}
+
+func newRunner(c Config) *runner {
+	return &runner{c: c, cache: make(map[string]*core.Result)}
+}
+
+// spec scales a benchmark to the configured number of waves, computed
+// against the baseline 14-core machine so sweeps stay comparable.
+func (r *runner) spec(s *workload.Spec) *workload.Spec {
+	target := 14 * s.MaxBlocksPerCore * r.c.waves()
+	f := s.Blocks / target
+	return s.Scaled(f)
+}
+
+// machine returns the baseline config with the scaled throttle period.
+func (r *runner) machine() *config.Config {
+	cfg := config.Baseline()
+	cfg.ThrottlePeriod = r.c.throttlePeriod()
+	return cfg
+}
+
+// run executes (or recalls) one simulation. key must uniquely identify
+// the configuration.
+func (r *runner) run(key string, o core.Options) (*core.Result, error) {
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	res, err := core.Run(o)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", key, err)
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// baseline runs the no-prefetching binary for a benchmark.
+func (r *runner) baseline(s *workload.Spec) (*core.Result, error) {
+	return r.run("base/"+s.Name, core.Options{
+		Config:   r.machine(),
+		Workload: r.spec(s),
+	})
+}
+
+// software runs a software-prefetching configuration.
+func (r *runner) software(s *workload.Spec, m swpref.Mode, throttle bool) (*core.Result, error) {
+	key := fmt.Sprintf("sw/%s/%v/%v", s.Name, m, throttle)
+	return r.run(key, core.Options{
+		Config:   r.machine(),
+		Workload: r.spec(s),
+		Software: m,
+		Throttle: throttle,
+	})
+}
+
+// hardware runs a hardware-prefetching configuration.
+func (r *runner) hardware(s *workload.Spec, name string, f func() prefetch.Prefetcher, throttle bool) (*core.Result, error) {
+	key := fmt.Sprintf("hw/%s/%s/%v", s.Name, name, throttle)
+	return r.run(key, core.Options{
+		Config:   r.machine(),
+		Workload: r.spec(s),
+		Hardware: f,
+		Throttle: throttle,
+	})
+}
+
+// suite returns the memory-intensive benchmarks in Table III order.
+func suite() []*workload.Spec { return workload.MemoryIntensive() }
+
+// sensitivitySubset is the representative set used by Figs. 16-18: two
+// stride winners, the sliding-window benchmark, the pathological
+// late-prefetch case, and two uncoalesced filters.
+var sensitivitySubset = []string{"mersenne", "monte", "conv", "stream", "cfd", "sepia"}
+
+func (r *runner) sweepSuite() []*workload.Spec {
+	if !r.c.subset() {
+		return suite()
+	}
+	var out []*workload.Spec
+	for _, n := range sensitivitySubset {
+		out = append(out, workload.ByName(n))
+	}
+	return out
+}
+
+// Named hardware-prefetcher factories (Table V + the paper's MT-HWP).
+type namedHW struct {
+	name string
+	make func() prefetch.Prefetcher
+}
+
+func hwStrideRPT(warpAware bool) namedHW {
+	n := "stride"
+	if warpAware {
+		n = "stride+wid"
+	}
+	return namedHW{n, func() prefetch.Prefetcher {
+		return prefetch.NewStrideRPT(prefetch.StrideRPTOptions{WarpAware: warpAware})
+	}}
+}
+
+func hwStridePC(warpAware, throttled bool) namedHW {
+	n := "stridepc"
+	if warpAware {
+		n += "+wid"
+	}
+	if throttled {
+		n += "+T"
+	}
+	return namedHW{n, func() prefetch.Prefetcher {
+		return prefetch.NewStridePC(prefetch.StridePCOptions{WarpAware: warpAware, Throttled: throttled})
+	}}
+}
+
+func hwStream(warpAware bool) namedHW {
+	n := "stream"
+	if warpAware {
+		n = "stream+wid"
+	}
+	return namedHW{n, func() prefetch.Prefetcher {
+		return prefetch.NewStream(prefetch.StreamOptions{WarpAware: warpAware})
+	}}
+}
+
+func hwGHB(warpAware, feedback bool) namedHW {
+	n := "ghb"
+	if warpAware {
+		n += "+wid"
+	}
+	if feedback {
+		n += "+F"
+	}
+	return namedHW{n, func() prefetch.Prefetcher {
+		return prefetch.NewGHB(prefetch.GHBOptions{WarpAware: warpAware, Feedback: feedback})
+	}}
+}
+
+func hwMTHWP(gs, ip bool, distance int) namedHW {
+	n := "pws"
+	if gs {
+		n += "+gs"
+	}
+	if ip {
+		n += "+ip"
+	}
+	if distance > 1 {
+		n += fmt.Sprintf("/d%d", distance)
+	}
+	return namedHW{n, func() prefetch.Prefetcher {
+		return prefetch.NewMTHWP(prefetch.MTHWPOptions{EnableGS: gs, EnableIP: ip, Distance: distance})
+	}}
+}
+
+// geomeanColumn computes the per-column geomean of a speedup matrix.
+func geomeanColumn(rows [][]float64, col int) float64 {
+	var xs []float64
+	for _, r := range rows {
+		if col < len(r) {
+			xs = append(xs, r[col])
+		}
+	}
+	return stats.Geomean(xs)
+}
+
+// classOrder renders benchmarks grouped stride -> mp -> uncoal, the
+// grouping the paper's figures use.
+func classOrder(specs []*workload.Spec) []*workload.Spec {
+	out := make([]*workload.Spec, len(specs))
+	copy(out, specs)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}

@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"mtprefetch/internal/workload"
+)
+
+func fastConfig() Config {
+	subset := true
+	return Config{Waves: 1, Subset: &subset}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table2", "table3", "table4", "table5", "table6",
+		"fig8", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "fig17", "fig18", "gstable",
+		"thresholds", "mtaml",
+	}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Errorf("experiment %d = %q, want %q", i, got[i].ID, id)
+		}
+		if got[i].Title == "" || got[i].PaperRef == "" || got[i].Run == nil {
+			t.Errorf("experiment %q incomplete", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if ByID("fig10") == nil {
+		t.Error("fig10 not found")
+	}
+	if ByID("nope") != nil {
+		t.Error("unknown id found")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	// The config-only experiments run instantly and pin key content.
+	for id, want := range map[string]string{
+		"table2": "57.6 GB/s",
+		"table5": "GHB AC/DC",
+		"table6": "557 bytes",
+	} {
+		tables, err := ByID(id).Run(fastConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out := ""
+		for _, tb := range tables {
+			out += tb.String()
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("%s output missing %q:\n%s", id, want, out)
+		}
+	}
+}
+
+func TestTable3RunsAllBenchmarks(t *testing.T) {
+	tables, err := ByID("table3").Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0].NumRows() != 14 {
+		t.Errorf("table3 rows = %d, want 14", tables[0].NumRows())
+	}
+	out := tables[0].String()
+	for _, b := range []string{"black", "stream", "ocean", "sepia"} {
+		if !strings.Contains(out, b) {
+			t.Errorf("table3 missing %s", b)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tables, err := ByID("fig10").Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	// 14 benchmarks + geomean.
+	if tb.NumRows() != 15 {
+		t.Errorf("fig10 rows = %d, want 15", tb.NumRows())
+	}
+	out := tb.String()
+	if !strings.Contains(out, "geomean") {
+		t.Error("fig10 missing geomean row")
+	}
+}
+
+func TestGSTableShape(t *testing.T) {
+	tables, err := ByID("gstable").Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tables[0].NumRows(), len(workload.ByClass(workload.Stride)); got != want {
+		t.Errorf("gstable rows = %d, want %d", got, want)
+	}
+}
+
+func TestRunnerCaching(t *testing.T) {
+	r := newRunner(fastConfig())
+	s := workload.ByName("mersenne")
+	a, err := r.baseline(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.baseline(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("baseline not cached")
+	}
+}
+
+func TestSweepSuiteSubset(t *testing.T) {
+	sub := true
+	r := newRunner(Config{Subset: &sub})
+	if got := len(r.sweepSuite()); got != len(sensitivitySubset) {
+		t.Errorf("subset size = %d, want %d", got, len(sensitivitySubset))
+	}
+	full := false
+	r2 := newRunner(Config{Subset: &full})
+	if got := len(r2.sweepSuite()); got != 14 {
+		t.Errorf("full sweep size = %d, want 14", got)
+	}
+	for _, n := range sensitivitySubset {
+		if workload.ByName(n) == nil {
+			t.Errorf("subset names unknown benchmark %q", n)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.waves() != 2 {
+		t.Errorf("default waves = %d, want 2", c.waves())
+	}
+	if c.throttlePeriod() != 10_000 {
+		t.Errorf("default throttle period = %d, want 10000", c.throttlePeriod())
+	}
+	if !c.subset() {
+		t.Error("default subset should be true")
+	}
+}
+
+// TestAllExperimentsRun executes every registry entry at the smallest
+// scale, verifying each produces non-empty tables without error. This is
+// the expensive integration test; skip with -short.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(fastConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for i, tb := range tables {
+				if tb.NumRows() == 0 {
+					t.Errorf("table %d empty", i)
+				}
+				if tb.String() == "" {
+					t.Errorf("table %d renders empty", i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,155 @@
+package kernel
+
+import "fmt"
+
+// Builder assembles Programs. Register names are allocated monotonically;
+// these kernels are short enough that reuse is unnecessary.
+type Builder struct {
+	p        Program
+	nextReg  Reg
+	loopOpen bool
+	loopAt   int
+	err      error
+}
+
+// NewBuilder starts an empty program.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		p:       Program{Name: name, LoopTrips: 1},
+		nextReg: 1, // register 0 is NoReg
+	}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("kernel builder %q: %s", b.p.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+func (b *Builder) alloc() Reg {
+	if b.nextReg == 0 { // wrapped
+		b.fail("register file exhausted")
+		return NoReg
+	}
+	r := b.nextReg
+	b.nextReg++
+	return r
+}
+
+func (b *Builder) noteArray(a *Access) {
+	if a.Array >= b.p.NumArrays {
+		b.p.NumArrays = a.Array + 1
+	}
+}
+
+// Load appends a global load and returns its destination register.
+func (b *Builder) Load(a Access) Reg {
+	dst := b.alloc()
+	acc := a
+	b.noteArray(&acc)
+	b.p.Instrs = append(b.p.Instrs, Instr{Op: OpLoad, Dst: dst, Mem: &acc})
+	return dst
+}
+
+// Store appends a global store of src.
+func (b *Builder) Store(a Access, src Reg) {
+	acc := a
+	b.noteArray(&acc)
+	b.p.Instrs = append(b.p.Instrs, Instr{Op: OpStore, Src1: src, Mem: &acc})
+}
+
+// Prefetch appends a non-binding software prefetch.
+func (b *Builder) Prefetch(a Access) {
+	acc := a
+	b.noteArray(&acc)
+	b.p.Instrs = append(b.p.Instrs, Instr{Op: OpPrefetch, Mem: &acc})
+}
+
+// op appends a computational instruction reading srcs, returns its dst.
+func (b *Builder) op(class OpClass, srcs ...Reg) Reg {
+	in := Instr{Op: class, Dst: b.alloc()}
+	if len(srcs) > 0 {
+		in.Src1 = srcs[0]
+	}
+	if len(srcs) > 1 {
+		in.Src2 = srcs[1]
+	}
+	if len(srcs) > 2 {
+		b.fail("at most two sources per instruction")
+	}
+	b.p.Instrs = append(b.p.Instrs, in)
+	return in.Dst
+}
+
+// ALU appends a 4-cycle-class compute instruction.
+func (b *Builder) ALU(srcs ...Reg) Reg { return b.op(OpALU, srcs...) }
+
+// IMul appends a 16-cycle-class integer multiply.
+func (b *Builder) IMul(srcs ...Reg) Reg { return b.op(OpIMul, srcs...) }
+
+// FDiv appends a 32-cycle-class floating divide.
+func (b *Builder) FDiv(srcs ...Reg) Reg { return b.op(OpFDiv, srcs...) }
+
+// Compute appends n chained ALU instructions consuming dep (models a
+// compute phase that depends on loaded data) and returns the final value.
+func (b *Builder) Compute(n int, dep Reg) Reg {
+	r := dep
+	for i := 0; i < n; i++ {
+		r = b.ALU(r)
+	}
+	return r
+}
+
+// BeginLoop marks the start of the (single) loop body executed trips times.
+func (b *Builder) BeginLoop(trips int) {
+	if b.loopOpen {
+		b.fail("nested loops are not supported")
+		return
+	}
+	if b.p.HasLoop() {
+		b.fail("only one loop per program")
+		return
+	}
+	if trips < 1 {
+		b.fail("loop trips must be >= 1, got %d", trips)
+		return
+	}
+	b.loopOpen = true
+	b.loopAt = len(b.p.Instrs)
+	b.p.LoopTrips = trips
+}
+
+// EndLoop closes the loop body with a back edge.
+func (b *Builder) EndLoop() {
+	if !b.loopOpen {
+		b.fail("EndLoop without BeginLoop")
+		return
+	}
+	b.loopOpen = false
+	b.p.Instrs = append(b.p.Instrs, Instr{Op: OpLoopBack, Target: b.loopAt})
+}
+
+// Build validates and returns the finished program.
+func (b *Builder) Build() (*Program, error) {
+	if b.loopOpen {
+		b.fail("unclosed loop")
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	b.p.NumRegs = int(b.nextReg)
+	if err := b.p.Validate(); err != nil {
+		return nil, err
+	}
+	prog := b.p
+	return &prog, nil
+}
+
+// MustBuild is Build that panics on error; for package-level kernel tables.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,59 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProgramString(t *testing.T) {
+	b := NewBuilder("demo")
+	b.BeginLoop(4)
+	v := b.Load(Access{Array: 0, LaneStrideB: 4, IterStrideB: 128})
+	w := b.Load(Access{Array: 1, LaneStrideB: 4, WarpPeriod: 32})
+	x := b.ALU(v, w)
+	x = b.IMul(x)
+	b.Prefetch(Access{Array: 0, LaneStrideB: 4, IterAhead: 1, WarpAhead: 1, Offset: 64})
+	b.Store(Access{Array: 2, LaneStrideB: 4}, x)
+	b.EndLoop()
+	p := b.MustBuild()
+	s := p.String()
+	for _, want := range []string{
+		"kernel demo", "trips=4",
+		"load", "A0", "lane*4", "iter*128",
+		"shared/32",
+		"imul",
+		"prefetch", "warp+1", "iter+1", "+64",
+		"store",
+		"loop -> 0",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAccessStringHashed(t *testing.T) {
+	a := Access{Array: 3, LaneStrideB: 64, Hash: true}
+	s := a.String()
+	if !strings.Contains(s, "hashed") || !strings.Contains(s, "A3") {
+		t.Errorf("hashed access renders as %q", s)
+	}
+}
+
+func TestInstrStringAllOps(t *testing.T) {
+	instrs := []Instr{
+		{Op: OpALU, Dst: 1},
+		{Op: OpIMul, Dst: 2, Src1: 1},
+		{Op: OpFDiv, Dst: 3, Src1: 1, Src2: 2},
+		{Op: OpLoad, Dst: 4, Mem: &Access{}},
+		{Op: OpStore, Src1: 4, Mem: &Access{}},
+		{Op: OpPrefetch, Mem: &Access{}},
+		{Op: OpLoopBack, Target: 2},
+		{Op: OpClass(99)},
+	}
+	for i := range instrs {
+		if instrs[i].String() == "" {
+			t.Errorf("instr %d renders empty", i)
+		}
+	}
+}

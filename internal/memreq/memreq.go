@@ -1,0 +1,95 @@
+// Package memreq defines the memory transaction type that flows from the
+// cores through the interconnect into the DRAM controllers and back.
+//
+// A Request corresponds to one cache-block-sized memory transaction. Warp
+// memory instructions are coalesced into one Request per distinct block
+// (see internal/kernel); requests may then merge inside the core's memory
+// request queue (intra-core merging, Fig. 2a of the paper) or inside a
+// DRAM controller's request buffer (inter-core merging, Fig. 2b).
+package memreq
+
+import "fmt"
+
+// Kind classifies a memory transaction.
+type Kind uint8
+
+const (
+	// Demand is a load the program needs; a waiting warp blocks on it at
+	// its first dependent use.
+	Demand Kind = iota
+	// Prefetch is a speculative fill of the prefetch cache, generated
+	// either by a software prefetch instruction or a hardware prefetcher.
+	Prefetch
+	// Writeback is a store leaving the core; nothing waits for it.
+	Writeback
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Demand:
+		return "demand"
+	case Prefetch:
+		return "prefetch"
+	case Writeback:
+		return "writeback"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Waiter identifies a warp register waiting on a demand fill.
+type Waiter struct {
+	Warp int // core-local warp slot index
+	Reg  uint8
+}
+
+// Request is one block transaction in flight.
+type Request struct {
+	Addr   uint64 // block-aligned address
+	Kind   Kind   // effective kind; a demand merging into a prefetch upgrades it
+	CoreID int
+	WarpID int // global warp id that triggered the request
+	PC     int // instruction index that triggered it (prefetcher training key)
+
+	IssueCycle uint64 // cycle the request entered the MRQ
+
+	// WasPrefetch records that the request started life as a prefetch,
+	// even if a demand later merged into it (a "late prefetch").
+	WasPrefetch bool
+	// DemandMerged is set when a demand merged into an in-flight
+	// prefetch; used for the lateness statistic.
+	DemandMerged bool
+
+	// Waiters are warps to wake when the fill returns.
+	Waiters []Waiter
+}
+
+// BlockAlign truncates addr to the block boundary.
+func BlockAlign(addr uint64, blockBytes int) uint64 {
+	return addr &^ (uint64(blockBytes) - 1)
+}
+
+// New returns a block-aligned request.
+func New(addr uint64, blockBytes int, kind Kind, coreID, warpID, pc int, cycle uint64) *Request {
+	return &Request{
+		Addr:        BlockAlign(addr, blockBytes),
+		Kind:        kind,
+		CoreID:      coreID,
+		WarpID:      warpID,
+		PC:          pc,
+		IssueCycle:  cycle,
+		WasPrefetch: kind == Prefetch,
+	}
+}
+
+// MergeDemand upgrades r after a demand request to the same block merged
+// into it, attaching the demand's waiters and recording lateness when r
+// was a prefetch.
+func (r *Request) MergeDemand(waiters []Waiter) {
+	if r.Kind == Prefetch {
+		r.DemandMerged = true
+		r.Kind = Demand
+	}
+	r.Waiters = append(r.Waiters, waiters...)
+}

@@ -1,0 +1,90 @@
+package memreq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockAlign(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		want uint64
+	}{
+		{0, 0},
+		{63, 0},
+		{64, 64},
+		{100, 64},
+		{128, 128},
+	}
+	for _, c := range cases {
+		if got := BlockAlign(c.addr, 64); got != c.want {
+			t.Errorf("BlockAlign(%d, 64) = %d, want %d", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestBlockAlignProperty(t *testing.T) {
+	// Aligned addresses are idempotent and never exceed the input.
+	f := func(addr uint64) bool {
+		a := BlockAlign(addr, 64)
+		return a <= addr && a%64 == 0 && BlockAlign(a, 64) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewAlignsAndTags(t *testing.T) {
+	r := New(1000, 64, Prefetch, 3, 42, 7, 99)
+	if r.Addr != 960 {
+		t.Errorf("Addr = %d, want 960", r.Addr)
+	}
+	if !r.WasPrefetch || r.Kind != Prefetch {
+		t.Errorf("prefetch tagging wrong: %+v", r)
+	}
+	if r.CoreID != 3 || r.WarpID != 42 || r.PC != 7 || r.IssueCycle != 99 {
+		t.Errorf("metadata wrong: %+v", r)
+	}
+	d := New(64, 64, Demand, 0, 0, 0, 0)
+	if d.WasPrefetch {
+		t.Error("demand request marked WasPrefetch")
+	}
+}
+
+func TestMergeDemandIntoPrefetch(t *testing.T) {
+	r := New(0, 64, Prefetch, 0, 1, 2, 3)
+	r.MergeDemand([]Waiter{{Warp: 5, Reg: 2}})
+	if r.Kind != Demand {
+		t.Errorf("Kind after merge = %v, want demand", r.Kind)
+	}
+	if !r.DemandMerged {
+		t.Error("DemandMerged not set")
+	}
+	if !r.WasPrefetch {
+		t.Error("WasPrefetch lost on merge")
+	}
+	if len(r.Waiters) != 1 || r.Waiters[0].Warp != 5 {
+		t.Errorf("waiters = %+v", r.Waiters)
+	}
+}
+
+func TestMergeDemandIntoDemand(t *testing.T) {
+	r := New(0, 64, Demand, 0, 1, 2, 3)
+	r.Waiters = []Waiter{{Warp: 1, Reg: 1}}
+	r.MergeDemand([]Waiter{{Warp: 2, Reg: 2}})
+	if r.DemandMerged {
+		t.Error("demand-demand merge should not set DemandMerged")
+	}
+	if len(r.Waiters) != 2 {
+		t.Errorf("waiters = %+v, want 2 entries", r.Waiters)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Demand.String() != "demand" || Prefetch.String() != "prefetch" || Writeback.String() != "writeback" {
+		t.Error("Kind.String values wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

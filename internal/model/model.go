@@ -1,0 +1,126 @@
+// Package model implements the paper's analytical model of prefetch
+// utility (Section IV): the minimum tolerable average memory latency
+// (MTAML, Eq. 1), its extension under prefetching (Eqs. 2-4), and the
+// three-way classification of Fig. 7 — prefetching is useful, has no
+// effect, or may be useful-or-harmful depending on contention.
+package model
+
+import (
+	"fmt"
+
+	"mtprefetch/internal/workload"
+)
+
+// MTAML is Eq. 1: the minimum average number of cycles per memory request
+// that does not lead to stalls, in warp-instruction units:
+//
+//	MTAML = (#comp_inst / #mem_inst) x (#warps - 1)
+//
+// compInst and memInst are per-thread (equivalently per-warp) dynamic
+// warp-instruction counts; warps is the number of active warps on a core.
+func MTAML(compInst, memInst float64, warps int) float64 {
+	if memInst == 0 || warps <= 1 {
+		return 0
+	}
+	return compInst / memInst * float64(warps-1)
+}
+
+// MTAMLPref is Eqs. 2-4: MTAML under prefetching with prefetch-cache hit
+// probability pHit. A prefetch hit turns a memory instruction into a
+// compute-latency instruction, shrinking the denominator:
+//
+//	#comp_new   = #comp_inst + P(hit) x #mem_inst
+//	#memory_new = (1 - P(hit)) x #mem_inst
+func MTAMLPref(compInst, memInst float64, warps int, pHit float64) float64 {
+	if pHit < 0 {
+		pHit = 0
+	}
+	if pHit > 1 {
+		pHit = 1
+	}
+	compNew := compInst + pHit*memInst
+	memNew := (1 - pHit) * memInst
+	return MTAML(compNew, memNew, warps)
+}
+
+// Case is the Fig. 7 classification.
+type Case uint8
+
+const (
+	// NoEffect: multithreading already tolerates the latency with and
+	// without prefetching (case 1 of Section IV-A).
+	NoEffect Case = iota
+	// Useful: the baseline cannot tolerate its latency but prefetching
+	// raises MTAML above the prefetched latency (case 2).
+	Useful
+	// UsefulOrHarmful: latency is not fully tolerable either way; the
+	// outcome depends on contention (case 3) — the regime the adaptive
+	// throttle is built for.
+	UsefulOrHarmful
+)
+
+// String implements fmt.Stringer.
+func (c Case) String() string {
+	switch c {
+	case NoEffect:
+		return "no-effect"
+	case Useful:
+		return "useful"
+	case UsefulOrHarmful:
+		return "useful-or-harmful"
+	default:
+		return fmt.Sprintf("Case(%d)", uint8(c))
+	}
+}
+
+// Classify applies Section IV-A's three cases given measured average
+// latencies (in the same warp-instruction units as MTAML; divide cycle
+// latencies by the issue occupancy to convert).
+func Classify(avgLat, avgLatPref, mtaml, mtamlPref float64) Case {
+	switch {
+	case avgLat < mtaml && avgLatPref < mtamlPref:
+		return NoEffect
+	case avgLat > mtaml && avgLatPref < mtamlPref:
+		return Useful
+	default:
+		return UsefulOrHarmful
+	}
+}
+
+// Analysis bundles the model outputs for one benchmark configuration.
+type Analysis struct {
+	Benchmark string
+	Warps     int
+	CompInst  float64
+	MemInst   float64
+	MTAML     float64 // warp-instruction units
+	MTAMLPref float64
+	PHit      float64
+}
+
+// Analyze derives the model inputs from a workload spec: per-warp dynamic
+// instruction counts and the spec's full-occupancy active warp count.
+// pHit is the assumed prefetch-cache hit probability.
+func Analyze(s *workload.Spec, pHit float64) Analysis {
+	c := s.Program.DynamicCounts()
+	comp := float64(c.Total - c.Memory) // non-memory warp-instructions
+	mem := float64(c.Memory)
+	w := s.ActiveWarpsPerCore()
+	return Analysis{
+		Benchmark: s.Name,
+		Warps:     w,
+		CompInst:  comp,
+		MemInst:   mem,
+		MTAML:     MTAML(comp, mem, w),
+		MTAMLPref: MTAMLPref(comp, mem, w, pHit),
+		PHit:      pHit,
+	}
+}
+
+// ClassifyMeasured classifies a benchmark given measured average memory
+// latencies in cycles and the issue occupancy per warp-instruction
+// (config.IssueCostALU in the baseline machine).
+func (a Analysis) ClassifyMeasured(avgLatCycles, avgLatPrefCycles float64, issueCost int) Case {
+	u := float64(issueCost)
+	return Classify(avgLatCycles/u, avgLatPrefCycles/u, a.MTAML, a.MTAMLPref)
+}

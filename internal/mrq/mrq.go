@@ -1,0 +1,141 @@
+// Package mrq implements the per-core Memory Request Queue with intra-core
+// merging (Fig. 2a of the paper).
+//
+// A new request whose block address matches an outstanding entry merges
+// into it instead of occupying a slot. Merges are the numerator of the
+// throttle engine's merge-ratio metric (Eq. 6); a demand merging into an
+// in-flight prefetch additionally marks that prefetch "late".
+package mrq
+
+import "mtprefetch/internal/memreq"
+
+// AddResult reports what happened to a request offered to the queue.
+type AddResult uint8
+
+const (
+	// Accepted means a new entry was allocated.
+	Accepted AddResult = iota
+	// Merged means the request folded into an existing entry.
+	Merged
+	// Rejected means the queue was full; the issuer must stall and retry.
+	Rejected
+)
+
+// Stats are the queue's lifetime counters.
+type Stats struct {
+	Demands    uint64 // new demand entries
+	Prefetches uint64 // new prefetch entries
+	Writebacks uint64 // new writeback entries
+	Merges     uint64 // intra-core merges of any kind (Eq. 6 numerator)
+
+	DemandIntoPrefetch uint64 // late-prefetch merges
+	PrefetchMerged     uint64 // prefetches dropped into existing entries
+	Rejects            uint64
+}
+
+// TotalArrivals is the denominator of the merge ratio: every request that
+// arrived at the queue, whether it allocated or merged.
+func (s *Stats) TotalArrivals() uint64 {
+	return s.Demands + s.Prefetches + s.Writebacks + s.Merges
+}
+
+// Queue is one core's MRQ. It tracks entries from allocation until the
+// fill returns (Complete), so in-flight requests still absorb merges, like
+// an MSHR file.
+type Queue struct {
+	capacity    int
+	byAddr      map[uint64]*memreq.Request
+	sendq       []*memreq.Request
+	outstanding int
+	stats       Stats
+}
+
+// New creates a queue with the given entry capacity.
+func New(capacity int) *Queue {
+	return &Queue{
+		capacity: capacity,
+		byAddr:   make(map[uint64]*memreq.Request, capacity),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (q *Queue) Stats() Stats { return q.stats }
+
+// Outstanding reports occupied entries (queued or in flight).
+func (q *Queue) Outstanding() int { return q.outstanding }
+
+// Lookup returns the outstanding entry for a block address, or nil. It is
+// used by prefetch generation to drop candidates already in flight.
+func (q *Queue) Lookup(addr uint64) *memreq.Request { return q.byAddr[addr] }
+
+// Add offers a request to the queue.
+func (q *Queue) Add(r *memreq.Request) AddResult {
+	if r.Kind != memreq.Writeback {
+		if existing, ok := q.byAddr[r.Addr]; ok {
+			q.stats.Merges++
+			switch r.Kind {
+			case memreq.Demand:
+				if existing.Kind == memreq.Prefetch {
+					q.stats.DemandIntoPrefetch++
+				}
+				existing.MergeDemand(r.Waiters)
+			case memreq.Prefetch:
+				q.stats.PrefetchMerged++
+			}
+			return Merged
+		}
+	}
+	if q.outstanding >= q.capacity {
+		q.stats.Rejects++
+		return Rejected
+	}
+	q.outstanding++
+	switch r.Kind {
+	case memreq.Demand:
+		q.stats.Demands++
+	case memreq.Prefetch:
+		q.stats.Prefetches++
+	case memreq.Writeback:
+		q.stats.Writebacks++
+	}
+	if r.Kind != memreq.Writeback {
+		q.byAddr[r.Addr] = r
+	}
+	q.sendq = append(q.sendq, r)
+	return Accepted
+}
+
+// NextSend peeks the oldest unsent request, or nil.
+func (q *Queue) NextSend() *memreq.Request {
+	if len(q.sendq) == 0 {
+		return nil
+	}
+	return q.sendq[0]
+}
+
+// PopSend removes and returns the oldest unsent request. Writebacks are
+// fire-and-forget: popping one frees its entry immediately.
+func (q *Queue) PopSend() *memreq.Request {
+	if len(q.sendq) == 0 {
+		return nil
+	}
+	r := q.sendq[0]
+	copy(q.sendq, q.sendq[1:])
+	q.sendq = q.sendq[:len(q.sendq)-1]
+	if r.Kind == memreq.Writeback {
+		q.outstanding--
+	}
+	return r
+}
+
+// Complete retires the entry for a returned fill and hands it back with
+// any merged waiters. It returns nil for unknown addresses.
+func (q *Queue) Complete(addr uint64) *memreq.Request {
+	r, ok := q.byAddr[addr]
+	if !ok {
+		return nil
+	}
+	delete(q.byAddr, addr)
+	q.outstanding--
+	return r
+}

@@ -1,0 +1,197 @@
+package mrq
+
+import (
+	"testing"
+
+	"mtprefetch/internal/memreq"
+)
+
+func demand(addr uint64, warp int) *memreq.Request {
+	r := memreq.New(addr, 64, memreq.Demand, 0, warp, 1, 0)
+	r.Waiters = []memreq.Waiter{{Warp: warp, Reg: 1}}
+	return r
+}
+
+func prefetch(addr uint64) *memreq.Request {
+	return memreq.New(addr, 64, memreq.Prefetch, 0, 0, 1, 0)
+}
+
+func TestAcceptAndComplete(t *testing.T) {
+	q := New(4)
+	if got := q.Add(demand(64, 1)); got != Accepted {
+		t.Fatalf("Add = %v, want Accepted", got)
+	}
+	if q.Outstanding() != 1 {
+		t.Errorf("Outstanding = %d, want 1", q.Outstanding())
+	}
+	r := q.Complete(64)
+	if r == nil || len(r.Waiters) != 1 {
+		t.Fatalf("Complete returned %+v", r)
+	}
+	if q.Outstanding() != 0 {
+		t.Errorf("Outstanding after complete = %d, want 0", q.Outstanding())
+	}
+	if q.Complete(64) != nil {
+		t.Error("double Complete returned an entry")
+	}
+}
+
+func TestDemandDemandMerge(t *testing.T) {
+	q := New(4)
+	q.Add(demand(64, 1))
+	if got := q.Add(demand(64, 2)); got != Merged {
+		t.Fatalf("second demand = %v, want Merged", got)
+	}
+	r := q.Complete(64)
+	if len(r.Waiters) != 2 {
+		t.Errorf("merged waiters = %d, want 2", len(r.Waiters))
+	}
+	s := q.Stats()
+	if s.Merges != 1 || s.Demands != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.DemandIntoPrefetch != 0 {
+		t.Error("demand-demand merge counted as late prefetch")
+	}
+}
+
+func TestDemandIntoPrefetchMarksLate(t *testing.T) {
+	q := New(4)
+	q.Add(prefetch(128))
+	if got := q.Add(demand(128, 3)); got != Merged {
+		t.Fatalf("demand into prefetch = %v, want Merged", got)
+	}
+	r := q.Complete(128)
+	if r.Kind != memreq.Demand || !r.DemandMerged || !r.WasPrefetch {
+		t.Errorf("merged request state wrong: %+v", r)
+	}
+	if got := q.Stats().DemandIntoPrefetch; got != 1 {
+		t.Errorf("DemandIntoPrefetch = %d, want 1", got)
+	}
+}
+
+func TestPrefetchIntoExistingDropped(t *testing.T) {
+	q := New(4)
+	q.Add(demand(64, 1))
+	if got := q.Add(prefetch(64)); got != Merged {
+		t.Fatalf("prefetch into demand = %v, want Merged", got)
+	}
+	s := q.Stats()
+	if s.PrefetchMerged != 1 {
+		t.Errorf("PrefetchMerged = %d, want 1", s.PrefetchMerged)
+	}
+	// Only one entry allocated, one send queued.
+	if q.Outstanding() != 1 {
+		t.Errorf("Outstanding = %d, want 1", q.Outstanding())
+	}
+	q.PopSend()
+	if q.NextSend() != nil {
+		t.Error("merged prefetch queued a second send")
+	}
+}
+
+func TestCapacityRejects(t *testing.T) {
+	q := New(2)
+	q.Add(demand(64, 1))
+	q.Add(demand(128, 2))
+	if got := q.Add(demand(192, 3)); got != Rejected {
+		t.Fatalf("over-capacity Add = %v, want Rejected", got)
+	}
+	if got := q.Stats().Rejects; got != 1 {
+		t.Errorf("Rejects = %d, want 1", got)
+	}
+	// Merging is still allowed at capacity.
+	if got := q.Add(demand(64, 4)); got != Merged {
+		t.Errorf("merge at capacity = %v, want Merged", got)
+	}
+}
+
+func TestSendOrderFIFO(t *testing.T) {
+	q := New(4)
+	q.Add(demand(64, 1))
+	q.Add(prefetch(128))
+	q.Add(demand(192, 2))
+	var got []uint64
+	for r := q.PopSend(); r != nil; r = q.PopSend() {
+		got = append(got, r.Addr)
+	}
+	want := []uint64{64, 128, 192}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("send order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInFlightStillMerges(t *testing.T) {
+	q := New(4)
+	q.Add(demand(64, 1))
+	q.PopSend() // now in flight
+	if got := q.Add(demand(64, 2)); got != Merged {
+		t.Fatalf("merge with in-flight = %v, want Merged", got)
+	}
+	r := q.Complete(64)
+	if len(r.Waiters) != 2 {
+		t.Errorf("in-flight merge lost waiters: %d", len(r.Waiters))
+	}
+}
+
+func TestWritebackFireAndForget(t *testing.T) {
+	q := New(2)
+	wb := memreq.New(64, 64, memreq.Writeback, 0, 0, 0, 0)
+	if got := q.Add(wb); got != Accepted {
+		t.Fatalf("writeback Add = %v", got)
+	}
+	// Writebacks do not merge with loads at the same address.
+	if got := q.Add(demand(64, 1)); got != Accepted {
+		t.Fatalf("demand after writeback = %v, want Accepted", got)
+	}
+	if q.Outstanding() != 2 {
+		t.Errorf("Outstanding = %d, want 2", q.Outstanding())
+	}
+	q.PopSend() // sends the writeback, freeing its slot
+	if q.Outstanding() != 1 {
+		t.Errorf("Outstanding after writeback send = %d, want 1", q.Outstanding())
+	}
+	// A second writeback to the same address also does not merge.
+	wb2 := memreq.New(64, 64, memreq.Writeback, 0, 0, 0, 0)
+	if got := q.Add(wb2); got != Accepted {
+		t.Errorf("second writeback = %v, want Accepted", got)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	q := New(4)
+	p := prefetch(256)
+	q.Add(p)
+	if q.Lookup(256) != p {
+		t.Error("Lookup missed outstanding prefetch")
+	}
+	if q.Lookup(512) != nil {
+		t.Error("Lookup invented an entry")
+	}
+}
+
+func TestTotalArrivals(t *testing.T) {
+	q := New(8)
+	q.Add(demand(64, 1)) // demand
+	q.Add(demand(64, 2)) // merge
+	q.Add(prefetch(128)) // prefetch
+	q.Add(prefetch(128)) // merge
+	wb := memreq.New(192, 64, memreq.Writeback, 0, 0, 0, 0)
+	q.Add(wb) // writeback
+	s := q.Stats()
+	if got := s.TotalArrivals(); got != 5 {
+		t.Errorf("TotalArrivals = %d, want 5", got)
+	}
+	if s.Merges != 2 {
+		t.Errorf("Merges = %d, want 2", s.Merges)
+	}
+}
+
+func TestPopSendEmpty(t *testing.T) {
+	q := New(2)
+	if q.PopSend() != nil || q.NextSend() != nil {
+		t.Error("empty queue returned a request")
+	}
+}

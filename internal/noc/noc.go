@@ -1,0 +1,123 @@
+// Package noc models the interconnection network between cores and memory
+// controllers: a fixed 20-cycle latency in each direction, with request
+// injection limited to one request from every 2 cores per cycle (Table II).
+package noc
+
+import "mtprefetch/internal/memreq"
+
+// Stats are the network's lifetime counters.
+type Stats struct {
+	RequestsInjected  uint64
+	ResponsesInjected uint64
+	InjectStalls      uint64 // injection attempts refused by the per-cycle limit
+}
+
+type delivery struct {
+	at  uint64
+	req *memreq.Request
+}
+
+// fifo is a queue with an amortised-O(1) pop.
+type fifo struct {
+	items []delivery
+	head  int
+}
+
+func (f *fifo) push(d delivery) { f.items = append(f.items, d) }
+
+func (f *fifo) peek() (delivery, bool) {
+	if f.head >= len(f.items) {
+		return delivery{}, false
+	}
+	return f.items[f.head], true
+}
+
+func (f *fifo) pop() delivery {
+	d := f.items[f.head]
+	f.items[f.head].req = nil
+	f.head++
+	if f.head > 64 && f.head*2 >= len(f.items) {
+		n := copy(f.items, f.items[f.head:])
+		f.items = f.items[:n]
+		f.head = 0
+	}
+	return d
+}
+
+func (f *fifo) len() int { return len(f.items) - f.head }
+
+// Network is the core<->memory interconnect. Because the latency is fixed,
+// each direction is a simple FIFO of timestamped deliveries.
+type Network struct {
+	latency           int
+	maxInject         int
+	toMem             fifo
+	toCore            fifo
+	curCycle          uint64
+	injectedThisCycle int
+	stats             Stats
+}
+
+// New creates a network with the given one-way latency and per-cycle
+// request-injection limit.
+func New(latency, maxInjectPerCycle int) *Network {
+	return &Network{latency: latency, maxInject: maxInjectPerCycle}
+}
+
+// Stats returns a snapshot of the counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+func (n *Network) tick(cycle uint64) {
+	if cycle != n.curCycle {
+		n.curCycle = cycle
+		n.injectedThisCycle = 0
+	}
+}
+
+// TryInjectRequest offers a core->memory request at the given cycle. It
+// returns false when this cycle's injection budget is exhausted.
+func (n *Network) TryInjectRequest(cycle uint64, r *memreq.Request) bool {
+	n.tick(cycle)
+	if n.injectedThisCycle >= n.maxInject {
+		n.stats.InjectStalls++
+		return false
+	}
+	n.injectedThisCycle++
+	n.stats.RequestsInjected++
+	n.toMem.push(delivery{at: cycle + uint64(n.latency), req: r})
+	return true
+}
+
+// InjectResponse sends a memory->core response (fill); responses are not
+// rate-limited here — the DRAM data bus already paces them.
+func (n *Network) InjectResponse(cycle uint64, r *memreq.Request) {
+	n.stats.ResponsesInjected++
+	n.toCore.push(delivery{at: cycle + uint64(n.latency), req: r})
+}
+
+// ArrivedRequests appends to buf every request due at or before cycle and
+// returns the extended slice.
+func (n *Network) ArrivedRequests(cycle uint64, buf []*memreq.Request) []*memreq.Request {
+	for {
+		d, ok := n.toMem.peek()
+		if !ok || d.at > cycle {
+			return buf
+		}
+		buf = append(buf, n.toMem.pop().req)
+	}
+}
+
+// ArrivedResponses appends to buf every response due at or before cycle
+// and returns the extended slice.
+func (n *Network) ArrivedResponses(cycle uint64, buf []*memreq.Request) []*memreq.Request {
+	for {
+		d, ok := n.toCore.peek()
+		if !ok || d.at > cycle {
+			return buf
+		}
+		buf = append(buf, n.toCore.pop().req)
+	}
+}
+
+// InFlight reports messages currently traversing the network.
+func (n *Network) InFlight() int { return n.toMem.len() + n.toCore.len() }

@@ -1,0 +1,129 @@
+package noc
+
+import (
+	"testing"
+
+	"mtprefetch/internal/memreq"
+)
+
+func req(addr uint64) *memreq.Request {
+	return memreq.New(addr, 64, memreq.Demand, 0, 0, 0, 0)
+}
+
+func TestFixedLatencyDelivery(t *testing.T) {
+	n := New(20, 7)
+	r := req(64)
+	if !n.TryInjectRequest(100, r) {
+		t.Fatal("injection refused under budget")
+	}
+	if got := n.ArrivedRequests(119, nil); len(got) != 0 {
+		t.Fatalf("delivered %d requests before latency elapsed", len(got))
+	}
+	got := n.ArrivedRequests(120, nil)
+	if len(got) != 1 || got[0] != r {
+		t.Fatalf("delivery at cycle 120 = %v", got)
+	}
+	// Nothing delivered twice.
+	if got := n.ArrivedRequests(200, nil); len(got) != 0 {
+		t.Fatal("request delivered twice")
+	}
+}
+
+func TestInjectionLimitPerCycle(t *testing.T) {
+	n := New(20, 2)
+	if !n.TryInjectRequest(5, req(0)) || !n.TryInjectRequest(5, req(64)) {
+		t.Fatal("within-budget injections refused")
+	}
+	if n.TryInjectRequest(5, req(128)) {
+		t.Fatal("third injection in one cycle accepted with limit 2")
+	}
+	if got := n.Stats().InjectStalls; got != 1 {
+		t.Errorf("InjectStalls = %d, want 1", got)
+	}
+	// Budget resets next cycle.
+	if !n.TryInjectRequest(6, req(128)) {
+		t.Fatal("injection refused after budget reset")
+	}
+}
+
+func TestResponsesUnlimited(t *testing.T) {
+	n := New(10, 1)
+	for i := 0; i < 5; i++ {
+		n.InjectResponse(0, req(uint64(i*64)))
+	}
+	got := n.ArrivedResponses(10, nil)
+	if len(got) != 5 {
+		t.Fatalf("responses delivered = %d, want 5", len(got))
+	}
+}
+
+func TestOrderingPreserved(t *testing.T) {
+	n := New(20, 10)
+	addrs := []uint64{0, 64, 128, 192}
+	for i, a := range addrs {
+		n.TryInjectRequest(uint64(i), req(a))
+	}
+	var got []uint64
+	for _, r := range n.ArrivedRequests(100, nil) {
+		got = append(got, r.Addr)
+	}
+	for i := range addrs {
+		if got[i] != addrs[i] {
+			t.Fatalf("order = %v, want %v", got, addrs)
+		}
+	}
+}
+
+func TestInFlightAccounting(t *testing.T) {
+	n := New(20, 10)
+	n.TryInjectRequest(0, req(0))
+	n.InjectResponse(0, req(64))
+	if got := n.InFlight(); got != 2 {
+		t.Errorf("InFlight = %d, want 2", got)
+	}
+	n.ArrivedRequests(50, nil)
+	n.ArrivedResponses(50, nil)
+	if got := n.InFlight(); got != 0 {
+		t.Errorf("InFlight after drain = %d, want 0", got)
+	}
+}
+
+func TestFIFOCompaction(t *testing.T) {
+	// Push and drain enough to trigger internal compaction.
+	n := New(1, 1000)
+	for c := uint64(0); c < 500; c++ {
+		if !n.TryInjectRequest(c, req(c*64)) {
+			t.Fatal("injection refused")
+		}
+		got := n.ArrivedRequests(c, nil)
+		if c == 0 {
+			if len(got) != 0 {
+				t.Fatal("zero-latency-like delivery")
+			}
+			continue
+		}
+		if len(got) != 1 || got[0].Addr != (c-1)*64 {
+			t.Fatalf("cycle %d: got %v", c, got)
+		}
+	}
+}
+
+func TestZeroLatency(t *testing.T) {
+	n := New(0, 10)
+	n.TryInjectRequest(7, req(0))
+	if got := n.ArrivedRequests(7, nil); len(got) != 1 {
+		t.Fatalf("zero-latency delivery = %d msgs, want 1", len(got))
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	n := New(5, 2)
+	n.TryInjectRequest(0, req(0))
+	n.TryInjectRequest(0, req(64))
+	n.TryInjectRequest(0, req(128)) // refused
+	n.InjectResponse(0, req(192))
+	s := n.Stats()
+	if s.RequestsInjected != 2 || s.ResponsesInjected != 1 || s.InjectStalls != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}

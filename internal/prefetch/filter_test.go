@@ -1,0 +1,85 @@
+package prefetch
+
+import "testing"
+
+func TestPollutionFilterBlocksBadPC(t *testing.T) {
+	f := NewPollutionFilter(0)
+	if !f.Allow(7) {
+		t.Fatal("fresh PC blocked")
+	}
+	f.RecordEarly(7)
+	if !f.Allow(7) {
+		t.Fatal("blocked after a single early eviction")
+	}
+	f.RecordEarly(7)
+	if f.Allow(7) {
+		t.Fatal("not blocked after repeated early evictions")
+	}
+	if f.Blocked() != 1 {
+		t.Errorf("Blocked = %d, want 1", f.Blocked())
+	}
+}
+
+func TestPollutionFilterRecovers(t *testing.T) {
+	f := NewPollutionFilter(0)
+	f.RecordEarly(7)
+	f.RecordEarly(7)
+	if f.Allow(7) {
+		t.Fatal("should be blocked")
+	}
+	// Useful outcomes rehabilitate the PC.
+	f.RecordUseful(7)
+	if !f.Allow(7) {
+		t.Fatal("did not recover after useful prefetch")
+	}
+}
+
+func TestPollutionFilterSaturates(t *testing.T) {
+	f := NewPollutionFilter(0)
+	for i := 0; i < 100; i++ {
+		f.RecordEarly(3)
+	}
+	// Saturation means a bounded number of useful events re-enables it.
+	for i := 0; i < 2; i++ {
+		f.RecordUseful(3)
+	}
+	if !f.Allow(3) {
+		t.Fatal("counter did not saturate: recovery took more than max-threshold+1 useful events")
+	}
+}
+
+func TestPollutionFilterIsolatesPCs(t *testing.T) {
+	f := NewPollutionFilter(0)
+	f.RecordEarly(1)
+	f.RecordEarly(1)
+	if f.Allow(1) {
+		t.Error("PC 1 should be blocked")
+	}
+	if !f.Allow(2) {
+		t.Error("PC 2 should be unaffected")
+	}
+}
+
+func TestPollutionFilterUsefulUnknownPC(t *testing.T) {
+	f := NewPollutionFilter(0)
+	f.RecordUseful(99) // must not panic or allocate garbage state
+	if !f.Allow(99) {
+		t.Error("unknown PC blocked")
+	}
+}
+
+func TestPollutionFilterCapacity(t *testing.T) {
+	f := NewPollutionFilter(2)
+	f.RecordEarly(1)
+	f.RecordEarly(1)
+	f.RecordEarly(2)
+	f.RecordEarly(2)
+	f.RecordEarly(3) // evicts PC 1 (LRU)
+	f.RecordEarly(3)
+	if f.Allow(2) || f.Allow(3) {
+		t.Error("resident bad PCs allowed")
+	}
+	if !f.Allow(1) {
+		t.Error("evicted PC should be forgiven")
+	}
+}

@@ -1,0 +1,186 @@
+package prefetch
+
+// GHB is the global history buffer prefetcher of Table V (Nesbit &
+// Smith): an n-entry FIFO of recent miss addresses threaded by linked
+// lists. In AC/DC form (the paper's configuration) the index table is
+// keyed by CZone (address region); the PC/DC variant localizes by the
+// accessing PC instead. On each access it rebuilds the localized delta
+// history and applies two-delta correlation to predict the next
+// addresses; a repeating pair of deltas anywhere in the history replays
+// the deltas that followed it.
+//
+// The enhanced form additionally separates streams per warp id.
+type GHB struct {
+	buf       []ghbEntry // circular
+	seq       uint64     // total pushes; buf[(seq-1) % len] is newest
+	index     *table[key2, uint64]
+	czoneBits uint
+	pcLocal   bool
+	warpAware bool
+	distance  int
+	degree    int
+	maxChain  int
+
+	// Accuracy-directed feedback (GHB+F, Section VIII-C): degree rises
+	// when prefetch accuracy is high and falls when it is low.
+	feedback  bool
+	minDegree int
+	maxDegree int
+}
+
+type ghbEntry struct {
+	addr uint64
+	key  key2
+	prev uint64 // seq of previous entry with same key; 0 = none
+}
+
+// GHBOptions configures a GHB prefetcher.
+type GHBOptions struct {
+	BufferSize  int  // GHB entries (default 1024)
+	IndexSize   int  // index-table entries (default 128)
+	CZoneBits   uint // log2 of CZone size in bytes (default 12 = 4KB zones)
+	PCLocalized bool // PC/DC variant: localize by PC instead of CZone
+	WarpAware   bool
+	Distance    int
+	Degree      int
+	Feedback    bool // enable accuracy-directed degree control (+F)
+}
+
+// NewGHB builds a GHB AC/DC prefetcher.
+func NewGHB(o GHBOptions) *GHB {
+	if o.BufferSize == 0 {
+		o.BufferSize = 1024
+	}
+	if o.IndexSize == 0 {
+		o.IndexSize = 128
+	}
+	if o.CZoneBits == 0 {
+		o.CZoneBits = 12
+	}
+	if o.Distance == 0 {
+		o.Distance = 1
+	}
+	if o.Degree == 0 {
+		o.Degree = 1
+	}
+	return &GHB{
+		buf:       make([]ghbEntry, o.BufferSize),
+		index:     newTable[key2, uint64](o.IndexSize),
+		czoneBits: o.CZoneBits,
+		pcLocal:   o.PCLocalized,
+		warpAware: o.WarpAware,
+		distance:  o.Distance,
+		degree:    o.Degree,
+		maxChain:  16,
+		feedback:  o.Feedback,
+		minDegree: 1,
+		maxDegree: 4,
+	}
+}
+
+// Name implements Prefetcher.
+func (p *GHB) Name() string {
+	n := "ghb"
+	if p.pcLocal {
+		n = "ghb-pcdc"
+	}
+	if p.warpAware {
+		n += "+wid"
+	}
+	if p.feedback {
+		n += "+F"
+	}
+	return n
+}
+
+// entryAt returns the buffer entry for a sequence number if it is still
+// resident, i.e. not yet overwritten by the FIFO.
+func (p *GHB) entryAt(seq uint64) (*ghbEntry, bool) {
+	if seq == 0 || seq+uint64(len(p.buf)) <= p.seq {
+		return nil, false
+	}
+	e := &p.buf[(seq-1)%uint64(len(p.buf))]
+	return e, true
+}
+
+// Observe implements Prefetcher.
+func (p *GHB) Observe(t Train, out []uint64) []uint64 {
+	k := key2{int(t.Addr >> p.czoneBits), 0}
+	if p.pcLocal {
+		k.a = t.PC
+	}
+	if p.warpAware {
+		k.b = t.WarpID
+	}
+	var prev uint64
+	if s, ok := p.index.get(k); ok {
+		prev = *s
+	}
+	// Push the new head entry.
+	p.seq++
+	p.buf[(p.seq-1)%uint64(len(p.buf))] = ghbEntry{addr: t.Addr, key: k, prev: prev}
+	p.index.put(k, p.seq)
+
+	// Walk the chain, newest first, collecting addresses.
+	var addrs [17]uint64 // maxChain+1
+	n := 0
+	addrs[n] = t.Addr
+	n++
+	for seq := prev; n <= p.maxChain; {
+		e, ok := p.entryAt(seq)
+		if !ok || e.key != k {
+			break
+		}
+		addrs[n] = e.addr
+		n++
+		seq = e.prev
+	}
+	if n < 3 {
+		return out
+	}
+	// Time-ordered deltas: with addrs newest-first, delta[i] is the step
+	// taken *into* addrs[i]: delta[i] = addrs[i] - addrs[i+1].
+	var deltas [16]int64
+	nd := n - 1
+	for i := 0; i < nd; i++ {
+		deltas[i] = int64(addrs[i]) - int64(addrs[i+1])
+	}
+	d0, d1 := deltas[0], deltas[1] // most recent pair (d1 happened, then d0)
+	// Two-delta correlation: find the most recent earlier occurrence of
+	// the pair (d1, d0) and replay the deltas that followed it.
+	for j := 1; j+1 < nd; j++ {
+		if deltas[j] == d0 && deltas[j+1] == d1 {
+			base := int64(t.Addr)
+			deg := p.degree
+			for i := 0; i < deg && j-1-i >= 0; i++ {
+				base += deltas[j-1-i]
+				if base <= 0 {
+					break
+				}
+				out = genStride(uint64(base), 0, 0, 1, t.Footprint, out)
+			}
+			return out
+		}
+	}
+	// Constant-stride fallback when the two most recent deltas agree.
+	if d0 == d1 && d0 != 0 {
+		return genStride(t.Addr, d0, p.distance, p.degree, t.Footprint, out)
+	}
+	return out
+}
+
+// ApplyFeedback implements FeedbackPrefetcher for the +F variant.
+func (p *GHB) ApplyFeedback(f Feedback) {
+	if !p.feedback || f.Issued == 0 {
+		return
+	}
+	acc := float64(f.Useful) / float64(f.Issued)
+	switch {
+	case acc > 0.5 && p.degree < p.maxDegree:
+		p.degree++
+	case acc < 0.25 && p.degree > p.minDegree:
+		p.degree--
+	}
+}
+
+var _ FeedbackPrefetcher = (*GHB)(nil)

@@ -1,0 +1,137 @@
+package prefetch
+
+// Stream is the stream prefetcher of Table V (512-entry), in the style of
+// Jouppi's stream buffers / the POWER5 prefetcher: it watches for accesses
+// marching through a memory region in a constant direction and, once a
+// direction is confirmed, runs ahead of the access stream.
+type Stream struct {
+	entries    []streamEntry
+	blockBytes uint64
+	window     uint64 // max block distance for an access to match a stream
+	warpAware  bool
+	distance   int
+	degree     int
+	stamp      uint64
+}
+
+type streamEntry struct {
+	valid     bool
+	lastBlock uint64 // block number of the most recent matching access
+	dir       int64  // +1 / -1, 0 while untrained
+	conf      int
+	warpID    int
+	lru       uint64
+}
+
+// StreamOptions configures a Stream prefetcher.
+type StreamOptions struct {
+	TableSize  int // stream entries (default 512)
+	BlockBytes int // default 64
+	Window     int // matching window in blocks (default 16)
+	WarpAware  bool
+	Distance   int
+	Degree     int
+}
+
+// NewStream builds a stream prefetcher.
+func NewStream(o StreamOptions) *Stream {
+	if o.TableSize == 0 {
+		o.TableSize = 512
+	}
+	if o.BlockBytes == 0 {
+		o.BlockBytes = 64
+	}
+	if o.Window == 0 {
+		o.Window = 16
+	}
+	if o.Distance == 0 {
+		o.Distance = 1
+	}
+	if o.Degree == 0 {
+		o.Degree = 1
+	}
+	return &Stream{
+		entries:    make([]streamEntry, o.TableSize),
+		blockBytes: uint64(o.BlockBytes),
+		window:     uint64(o.Window),
+		warpAware:  o.WarpAware,
+		distance:   o.Distance,
+		degree:     o.Degree,
+	}
+}
+
+// Name implements Prefetcher.
+func (p *Stream) Name() string {
+	if p.warpAware {
+		return "stream+wid"
+	}
+	return "stream"
+}
+
+// Observe implements Prefetcher.
+func (p *Stream) Observe(t Train, out []uint64) []uint64 {
+	p.stamp++
+	block := t.Addr / p.blockBytes
+	// Find the closest matching stream.
+	best, bestDist := -1, p.window+1
+	for i := range p.entries {
+		e := &p.entries[i]
+		if !e.valid {
+			continue
+		}
+		if p.warpAware && e.warpID != t.WarpID {
+			continue
+		}
+		var d uint64
+		if block > e.lastBlock {
+			d = block - e.lastBlock
+		} else {
+			d = e.lastBlock - block
+		}
+		if d <= p.window && d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best < 0 {
+		// Allocate (LRU victim).
+		victim := 0
+		for i := range p.entries {
+			if !p.entries[i].valid {
+				victim = i
+				break
+			}
+			if p.entries[i].lru < p.entries[victim].lru {
+				victim = i
+			}
+		}
+		p.entries[victim] = streamEntry{
+			valid: true, lastBlock: block, warpID: t.WarpID, lru: p.stamp,
+		}
+		return out
+	}
+	e := &p.entries[best]
+	e.lru = p.stamp
+	var dir int64
+	switch {
+	case block > e.lastBlock:
+		dir = 1
+	case block < e.lastBlock:
+		dir = -1
+	default:
+		return out // same block; no direction information
+	}
+	if e.dir == dir {
+		if e.conf < 4 {
+			e.conf++
+		}
+	} else {
+		e.dir = dir
+		e.conf = 0
+	}
+	e.lastBlock = block
+	if e.conf < 1 {
+		return out
+	}
+	stride := dir * int64(p.blockBytes)
+	return genStride(t.Addr, stride, p.distance, p.degree, t.Footprint, out)
+}

@@ -1,0 +1,71 @@
+package prefetch
+
+// StrideRPT is the region-based stride prefetcher of Table V ("Stride RPT",
+// 1024-entry, 16 region bits): training state is indexed by the memory
+// region an access falls in rather than by PC. The enhanced form
+// additionally separates regions per warp id.
+type StrideRPT struct {
+	tab        *table[key2, strideState]
+	regionBits uint
+	warpAware  bool
+	distance   int
+	degree     int
+}
+
+// StrideRPTOptions configures a StrideRPT prefetcher.
+type StrideRPTOptions struct {
+	TableSize  int  // entries (default 1024)
+	RegionBits uint // log2 of the region size in bytes (default 16 = 64KB)
+	WarpAware  bool
+	Distance   int
+	Degree     int
+}
+
+// NewStrideRPT builds a region-stride prefetcher.
+func NewStrideRPT(o StrideRPTOptions) *StrideRPT {
+	if o.TableSize == 0 {
+		o.TableSize = 1024
+	}
+	if o.RegionBits == 0 {
+		o.RegionBits = 16
+	}
+	if o.Distance == 0 {
+		o.Distance = 1
+	}
+	if o.Degree == 0 {
+		o.Degree = 1
+	}
+	return &StrideRPT{
+		tab:        newTable[key2, strideState](o.TableSize),
+		regionBits: o.RegionBits,
+		warpAware:  o.WarpAware,
+		distance:   o.Distance,
+		degree:     o.Degree,
+	}
+}
+
+// Name implements Prefetcher.
+func (p *StrideRPT) Name() string {
+	if p.warpAware {
+		return "stride+wid"
+	}
+	return "stride"
+}
+
+// Observe implements Prefetcher.
+func (p *StrideRPT) Observe(t Train, out []uint64) []uint64 {
+	region := int(t.Addr >> p.regionBits)
+	k := key2{region, 0}
+	if p.warpAware {
+		k.b = t.WarpID
+	}
+	st, ok := p.tab.get(k)
+	if !ok {
+		p.tab.put(k, strideState{lastAddr: t.Addr})
+		return out
+	}
+	if !st.observe(t.Addr) {
+		return out
+	}
+	return genStride(t.Addr, st.stride, p.distance, p.degree, t.Footprint, out)
+}

@@ -1,0 +1,568 @@
+// Package smcore models one SIMT core (an SM): an in-order scheduler that
+// issues warp-instructions with per-class occupancy (4 cycles for the
+// common case — 32-thread warps over 8-wide SIMD — 16 for IMUL, 32 for
+// FDIV), per-warp register scoreboards allowing multiple outstanding loads
+// per warp, a block scheduler honouring the occupancy limit, the per-core
+// MRQ, the prefetch cache, the hardware prefetcher, and the throttle
+// engine (Fig. 9).
+package smcore
+
+import (
+	"fmt"
+
+	"mtprefetch/internal/cache"
+	"mtprefetch/internal/config"
+	"mtprefetch/internal/kernel"
+	"mtprefetch/internal/memreq"
+	"mtprefetch/internal/mrq"
+	"mtprefetch/internal/prefetch"
+	"mtprefetch/internal/stats"
+	"mtprefetch/internal/throttle"
+	"mtprefetch/internal/workload"
+)
+
+// BlockSource dispenses thread-block ids to cores; the simulator shares
+// one across all cores.
+type BlockSource interface {
+	// NextBlock returns the next block id, or ok=false when the grid is
+	// exhausted.
+	NextBlock() (int, bool)
+}
+
+// Stats are one core's lifetime counters.
+type Stats struct {
+	Instructions     uint64 // all issued warp-instructions
+	ProgInstructions uint64 // excluding prefetch instructions
+	ComputeInstrs    uint64
+	MemInstrs        uint64 // demand loads + stores
+	PrefetchInstrs   uint64 // software prefetch instructions issued
+
+	DemandTransactions     uint64 // demand block transactions generated
+	PFCacheHitTransactions uint64 // of those, served by the prefetch cache
+
+	PrefetchesGenerated uint64 // candidates from SW instrs + HW prefetcher
+	PrefetchesIssued    uint64 // accepted into the MRQ as new entries
+	PrefetchMergedMRQ   uint64 // candidates merged into outstanding entries
+	DroppedThrottle     uint64
+	DroppedByFilter     uint64
+	DroppedInCache      uint64
+	DroppedQueueFull    uint64
+
+	LatePrefetches uint64 // fills whose prefetch had a demand merged in
+	DemandLatency  stats.Latency
+
+	IssueStallFullMRQ uint64 // cycles a ready warp stalled on MRQ space
+	BlocksCompleted   uint64
+	WarpsCompleted    uint64
+}
+
+type warpState struct {
+	active      bool
+	done        bool
+	gwid        int // global warp id
+	pc          int
+	iter        int
+	remTrips    int
+	pending     []uint16 // outstanding fills per register
+	outstanding int      // total outstanding fills
+	block       int      // resident-block slot this warp belongs to
+
+	// Memoized coalescing result for the instruction at (txPC, txIter),
+	// so a warp stalled on MRQ space does not redo the lane-dedup work
+	// every cycle it retries.
+	txs     []uint64
+	txPC    int
+	txIter  int
+	txValid bool
+
+	// stallEpoch records the core's memEpoch when this warp last failed
+	// to issue. Both stall causes (scoreboard and MRQ capacity) can only
+	// clear when a fill returns or an MRQ slot frees — events that bump
+	// memEpoch — so the warp is skipped until then.
+	stallEpoch uint64
+}
+
+type blockState struct {
+	active    bool
+	remaining int // unfinished warps
+}
+
+// Core is one SM.
+type Core struct {
+	id   int
+	cfg  *config.Config
+	spec *workload.Spec
+	prog *kernel.Program
+
+	warps     []warpState
+	blocks    []blockState
+	src       BlockSource
+	liveWarps int
+
+	MRQ     *mrq.Queue
+	PFCache *cache.Cache
+	HWP     prefetch.Prefetcher
+	Throt   *throttle.Engine
+	Filter  *prefetch.PollutionFilter // nil: no pollution filtering
+
+	// pfOrigin maps resident prefetched-but-unused blocks to the PC that
+	// generated them, so the pollution filter can attribute outcomes.
+	pfOrigin map[uint64]int
+
+	perfectMem bool
+	periodic   bool // throttle engine or feedback prefetcher present
+
+	issueBusyUntil uint64
+	rr             int    // round-robin scan start
+	memEpoch       uint64 // bumped whenever a stall could have cleared
+
+	// Throttle-period snapshots.
+	nextPeriod uint64
+	lastCache  cache.Stats
+	lastMRQ    mrq.Stats
+	lastIssued uint64
+	lastLate   uint64
+
+	// Scratch buffers reused across cycles.
+	txBuf   []uint64
+	candBuf []uint64
+	footBuf []uint64
+
+	stats Stats
+}
+
+// Options configures a core.
+type Options struct {
+	ID         int
+	Config     *config.Config
+	Spec       *workload.Spec
+	Blocks     BlockSource
+	HWP        prefetch.Prefetcher       // nil: no hardware prefetching
+	Throttle   *throttle.Engine          // nil: no adaptive throttling
+	Filter     *prefetch.PollutionFilter // nil: no pollution filtering
+	PerfectMem bool                      // loads complete instantly (PMEM runs)
+}
+
+// New builds a core and fills it with blocks up to the occupancy limit.
+func New(o Options) (*Core, error) {
+	prog := o.Spec.Program
+	if prog.NumRegs > 256 {
+		return nil, fmt.Errorf("smcore: program uses %d registers", prog.NumRegs)
+	}
+	wpb := o.Spec.WarpsPerBlock()
+	maxBlocks := o.Spec.MaxBlocksPerCore
+	c := &Core{
+		id:         o.ID,
+		cfg:        o.Config,
+		spec:       o.Spec,
+		prog:       prog,
+		warps:      make([]warpState, maxBlocks*wpb),
+		blocks:     make([]blockState, maxBlocks),
+		src:        o.Blocks,
+		MRQ:        mrq.New(o.Config.MRQSize),
+		PFCache:    cache.New(o.Config.PrefetchCacheBytes, o.Config.PrefetchCacheWays, o.Config.BlockBytes),
+		HWP:        o.HWP,
+		Throt:      o.Throttle,
+		Filter:     o.Filter,
+		perfectMem: o.PerfectMem,
+		nextPeriod: o.Config.ThrottlePeriod,
+		memEpoch:   1,
+	}
+	if o.Filter != nil {
+		c.pfOrigin = make(map[uint64]int)
+	}
+	if _, ok := o.HWP.(prefetch.FeedbackPrefetcher); ok || o.Throttle != nil {
+		c.periodic = true
+	}
+	for i := range c.warps {
+		c.warps[i].pending = make([]uint16, prog.NumRegs)
+	}
+	for b := range c.blocks {
+		c.tryLaunchBlock(b)
+	}
+	return c, nil
+}
+
+// Stats returns a snapshot of the core's counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// tryLaunchBlock fills block slot b with a fresh thread block if any.
+func (c *Core) tryLaunchBlock(b int) {
+	blockID, ok := c.src.NextBlock()
+	if !ok {
+		return
+	}
+	wpb := c.spec.WarpsPerBlock()
+	c.blocks[b] = blockState{active: true, remaining: wpb}
+	for i := 0; i < wpb; i++ {
+		w := &c.warps[b*wpb+i]
+		gwid := blockID*wpb + i
+		w.active = true
+		w.done = false
+		w.gwid = gwid
+		w.pc = 0
+		w.iter = 0
+		w.remTrips = c.prog.LoopTrips
+		w.outstanding = 0
+		w.block = b
+		for r := range w.pending {
+			w.pending[r] = 0
+		}
+		c.liveWarps++
+	}
+}
+
+// Idle reports whether the core has no resident work and no outstanding
+// memory requests.
+func (c *Core) Idle() bool {
+	return c.liveWarps == 0 && c.MRQ.Outstanding() == 0
+}
+
+// NextSend exposes the oldest unsent MRQ request for NOC injection.
+func (c *Core) NextSend() *memreq.Request { return c.MRQ.NextSend() }
+
+// PopSend removes it after a successful injection. Popping a writeback
+// frees its MRQ slot, so stalled warps become eligible again.
+func (c *Core) PopSend() *memreq.Request {
+	r := c.MRQ.PopSend()
+	if r != nil && r.Kind == memreq.Writeback {
+		c.memEpoch++
+	}
+	return r
+}
+
+// Fill delivers a returned memory response to the core.
+func (c *Core) Fill(cycle uint64, r *memreq.Request) {
+	c.memEpoch++
+	entry := c.MRQ.Complete(r.Addr)
+	if entry == nil {
+		// The response belongs to a request merged away inter-core; the
+		// surviving entry for this core already completed or never
+		// existed. Nothing to do.
+		return
+	}
+	if entry.Kind == memreq.Demand || len(entry.Waiters) > 0 {
+		c.stats.DemandLatency.Add(cycle - entry.IssueCycle)
+	}
+	for _, w := range entry.Waiters {
+		ws := &c.warps[w.Warp]
+		if ws.pending[w.Reg] > 0 {
+			ws.pending[w.Reg]--
+		}
+		if ws.outstanding > 0 {
+			ws.outstanding--
+		}
+		c.maybeRetire(w.Warp)
+	}
+	if entry.WasPrefetch {
+		if entry.DemandMerged {
+			c.stats.LatePrefetches++
+			// Late prefetch: the data still lands in the prefetch cache,
+			// already used.
+			c.PFCache.Fill(entry.Addr, true)
+		} else {
+			early, victim := c.PFCache.Fill(entry.Addr, false)
+			if c.Filter != nil {
+				c.pfOrigin[entry.Addr] = entry.PC
+				if early {
+					if pc, ok := c.pfOrigin[victim]; ok {
+						c.Filter.RecordEarly(pc)
+						delete(c.pfOrigin, victim)
+					}
+				}
+			}
+		}
+	}
+}
+
+// maybeRetire finishes a warp whose program ended and whose loads drained.
+func (c *Core) maybeRetire(slot int) {
+	w := &c.warps[slot]
+	if !w.active || !w.done || w.outstanding != 0 {
+		return
+	}
+	w.active = false
+	c.liveWarps--
+	c.stats.WarpsCompleted++
+	b := &c.blocks[w.block]
+	b.remaining--
+	if b.remaining == 0 {
+		b.active = false
+		c.stats.BlocksCompleted++
+		c.tryLaunchBlock(w.block)
+	}
+}
+
+// Cycle advances the core by one cycle: throttle-period accounting and at
+// most one warp-instruction issue.
+func (c *Core) Cycle(cycle uint64) {
+	if c.periodic && cycle >= c.nextPeriod {
+		c.endPeriod()
+		c.nextPeriod = cycle + c.cfg.ThrottlePeriod
+	}
+	if cycle < c.issueBusyUntil || c.liveWarps == 0 {
+		return
+	}
+	n := len(c.warps)
+	// Switch-on-stall scheduling (Section II-B): keep issuing from the
+	// current warp until its operands are not ready, then move on. The
+	// resulting stagger between warps is what gives inter-thread
+	// prefetches their timeliness.
+	for k := 0; k < n; k++ {
+		slot := (c.rr + k) % n
+		w := &c.warps[slot]
+		if !w.active || w.done || w.stallEpoch == c.memEpoch {
+			continue
+		}
+		if c.tryIssue(cycle, slot, w) {
+			if c.cfg.Scheduler == config.RoundRobin {
+				c.rr = (slot + 1) % n
+			} else {
+				c.rr = slot
+			}
+			return
+		}
+		w.stallEpoch = c.memEpoch
+	}
+}
+
+// tryIssue attempts to issue w's next instruction; it reports success.
+func (c *Core) tryIssue(cycle uint64, slot int, w *warpState) bool {
+	in := &c.prog.Instrs[w.pc]
+	// Scoreboard: sources must be ready.
+	if w.pending[in.Src1] > 0 || w.pending[in.Src2] > 0 {
+		return false
+	}
+	// A load destination still being filled (software pipelining WAW)
+	// also blocks.
+	if in.Op == kernel.OpLoad && w.pending[in.Dst] > 0 {
+		return false
+	}
+	switch in.Op {
+	case kernel.OpALU:
+		c.issueOccupy(cycle, c.cfg.IssueCostALU)
+		c.stats.ComputeInstrs++
+	case kernel.OpIMul:
+		c.issueOccupy(cycle, c.cfg.IssueCostIMul)
+		c.stats.ComputeInstrs++
+	case kernel.OpFDiv:
+		c.issueOccupy(cycle, c.cfg.IssueCostFDiv)
+		c.stats.ComputeInstrs++
+	case kernel.OpLoopBack:
+		c.issueOccupy(cycle, c.cfg.IssueCostALU)
+	case kernel.OpLoad, kernel.OpStore:
+		if !c.issueMemory(cycle, slot, w, in) {
+			c.stats.IssueStallFullMRQ++
+			return false
+		}
+		c.stats.MemInstrs++
+	case kernel.OpPrefetch:
+		c.issueSWPrefetch(cycle, w, in)
+		c.stats.PrefetchInstrs++
+	}
+	c.stats.Instructions++
+	if in.Op != kernel.OpPrefetch {
+		c.stats.ProgInstructions++
+	}
+	// Advance control flow.
+	if in.Op == kernel.OpLoopBack && w.remTrips > 1 {
+		w.remTrips--
+		w.iter++
+		w.pc = in.Target
+	} else {
+		w.pc++
+	}
+	if w.pc >= len(c.prog.Instrs) {
+		w.done = true
+		c.maybeRetire(slot)
+	}
+	return true
+}
+
+// demandCap is the MRQ occupancy demands and stores may reach; the
+// remainder is reserved for prefetches (config.MRQPrefetchReserve).
+func (c *Core) demandCap() int {
+	return c.cfg.MRQSize - c.cfg.MRQPrefetchReserve
+}
+
+func (c *Core) issueOccupy(cycle uint64, cost int) {
+	c.issueBusyUntil = cycle + uint64(cost)
+}
+
+// transactions returns the block addresses touched by in for warp w,
+// memoized across stalled retries of the same instruction.
+func (c *Core) transactions(w *warpState, in *kernel.Instr) []uint64 {
+	if w.txValid && w.txPC == w.pc && w.txIter == w.iter {
+		return w.txs
+	}
+	w.txs = in.Mem.Transactions(w.gwid, c.cfg.WarpSize, w.iter, c.cfg.BlockBytes, w.txs[:0])
+	w.txPC, w.txIter, w.txValid = w.pc, w.iter, true
+	return w.txs
+}
+
+// issueMemory handles loads and stores; it reports false when the MRQ
+// cannot absorb the access (the warp retries later).
+func (c *Core) issueMemory(cycle uint64, slot int, w *warpState, in *kernel.Instr) bool {
+	txs := c.transactions(w, in)
+	if in.Op == kernel.OpStore {
+		if c.perfectMem {
+			c.issueOccupy(cycle, c.cfg.IssueCostMem)
+			return true
+		}
+		if c.MRQ.Outstanding()+len(txs) > c.demandCap() {
+			return false
+		}
+		c.issueOccupy(cycle, c.cfg.IssueCostMem)
+		for _, addr := range txs {
+			c.MRQ.Add(memreq.New(addr, c.cfg.BlockBytes, memreq.Writeback, c.id, w.gwid, w.pc, cycle))
+		}
+		return true
+	}
+	// Demand load.
+	if c.perfectMem {
+		c.stats.DemandTransactions += uint64(len(txs))
+		c.issueOccupy(cycle, c.cfg.IssueCostMem)
+		return true
+	}
+	// Capacity check. Fast paths: a totally full queue always stalls, and
+	// a queue with room for the worst case always proceeds; only in
+	// between do we need to count prefetch-cache hits.
+	out := c.MRQ.Outstanding()
+	if out+len(txs) > c.demandCap() {
+		if out >= c.demandCap() || c.PFCache.Empty() {
+			return false
+		}
+		misses := 0
+		for _, addr := range txs {
+			if !c.PFCache.Contains(addr) {
+				misses++
+			}
+		}
+		if out+misses > c.demandCap() {
+			return false
+		}
+	}
+	c.stats.DemandTransactions += uint64(len(txs))
+	c.issueOccupy(cycle, c.cfg.IssueCostMem)
+	cacheLive := !c.PFCache.Empty()
+	for _, addr := range txs {
+		if cacheLive && c.PFCache.Lookup(addr) {
+			c.stats.PFCacheHitTransactions++
+			if c.Filter != nil {
+				if pc, ok := c.pfOrigin[addr]; ok {
+					c.Filter.RecordUseful(pc)
+					delete(c.pfOrigin, addr)
+				}
+			}
+			continue
+		}
+		r := memreq.New(addr, c.cfg.BlockBytes, memreq.Demand, c.id, w.gwid, w.pc, cycle)
+		r.Waiters = []memreq.Waiter{{Warp: slot, Reg: uint8(in.Dst)}}
+		switch c.MRQ.Add(r) {
+		case mrq.Accepted, mrq.Merged:
+			w.pending[in.Dst]++
+			w.outstanding++
+		case mrq.Rejected:
+			// Capacity was checked above; a reject can only happen if
+			// another path raced, which cannot occur single-threaded.
+			panic("smcore: MRQ rejected a capacity-checked demand")
+		}
+	}
+	// Train the hardware prefetcher on the warp access.
+	if c.HWP != nil {
+		c.trainHWP(cycle, w, txs)
+	}
+	return true
+}
+
+// trainHWP presents the access to the hardware prefetcher and issues the
+// surviving candidates.
+func (c *Core) trainHWP(cycle uint64, w *warpState, txs []uint64) {
+	base := txs[0]
+	for _, a := range txs[1:] {
+		if a < base {
+			base = a
+		}
+	}
+	c.footBuf = c.footBuf[:0]
+	for _, a := range txs {
+		c.footBuf = append(c.footBuf, a-base)
+	}
+	c.candBuf = c.HWP.Observe(prefetch.Train{
+		PC:        w.pc,
+		WarpID:    w.gwid,
+		Addr:      base,
+		Footprint: c.footBuf,
+	}, c.candBuf[:0])
+	c.issuePrefetches(cycle, w.gwid, w.pc, c.candBuf)
+}
+
+// issueSWPrefetch executes a software prefetch instruction.
+func (c *Core) issueSWPrefetch(cycle uint64, w *warpState, in *kernel.Instr) {
+	c.issueOccupy(cycle, c.cfg.IssueCostMem)
+	if c.perfectMem {
+		return
+	}
+	txs := c.transactions(w, in)
+	c.issuePrefetches(cycle, w.gwid, w.pc, txs)
+}
+
+// issuePrefetches filters candidates through the throttle engine, the
+// prefetch cache, and the MRQ, issuing what survives. Prefetches are
+// non-binding: on any resource shortage they are dropped, never stalled.
+func (c *Core) issuePrefetches(cycle uint64, gwid, pc int, candidates []uint64) {
+	for _, addr := range candidates {
+		addr = memreq.BlockAlign(addr, c.cfg.BlockBytes)
+		c.stats.PrefetchesGenerated++
+		if c.Throt != nil && !c.Throt.Allow() {
+			c.stats.DroppedThrottle++
+			continue
+		}
+		if c.Filter != nil && !c.Filter.Allow(pc) {
+			c.stats.DroppedByFilter++
+			continue
+		}
+		if c.PFCache.Contains(addr) {
+			c.stats.DroppedInCache++
+			continue
+		}
+		r := memreq.New(addr, c.cfg.BlockBytes, memreq.Prefetch, c.id, gwid, pc, cycle)
+		switch c.MRQ.Add(r) {
+		case mrq.Accepted:
+			c.stats.PrefetchesIssued++
+		case mrq.Merged:
+			c.stats.PrefetchMergedMRQ++
+		case mrq.Rejected:
+			c.stats.DroppedQueueFull++
+		}
+	}
+}
+
+// endPeriod closes a throttling period: it hands the monitored metrics to
+// the throttle engine (Table I) and to any feedback-directed prefetcher.
+func (c *Core) endPeriod() {
+	cs := c.PFCache.Stats()
+	ms := c.MRQ.Stats()
+	useful := cs.FirstUses - c.lastCache.FirstUses
+	m := throttle.Metrics{
+		EarlyEvictions:   cs.EarlyEvictions - c.lastCache.EarlyEvictions,
+		UsefulPrefetches: useful,
+		IntraCoreMerges:  ms.Merges - c.lastMRQ.Merges,
+		TotalRequests:    ms.TotalArrivals() - c.lastMRQ.TotalArrivals(),
+		PrefetchesIssued: c.stats.PrefetchesIssued - c.lastIssued,
+	}
+	if c.Throt != nil {
+		c.Throt.EndPeriod(m)
+	}
+	if fp, ok := c.HWP.(prefetch.FeedbackPrefetcher); ok {
+		fp.ApplyFeedback(prefetch.Feedback{
+			Issued: m.PrefetchesIssued,
+			Useful: useful,
+			Late:   c.stats.LatePrefetches - c.lastLate,
+		})
+	}
+	c.lastCache = cs
+	c.lastMRQ = ms
+	c.lastIssued = c.stats.PrefetchesIssued
+	c.lastLate = c.stats.LatePrefetches
+}

@@ -1,0 +1,214 @@
+// Package stats provides small statistics helpers shared by the simulator:
+// safe ratios, latency accumulators, geometric means, and fixed-width table
+// rendering used by the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// SafeDiv returns a/b, or 0 when b is zero.
+func SafeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Ratio returns a/b as float64 with a zero-guard, for counter pairs.
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Geomean returns the geometric mean of xs, ignoring non-positive entries.
+// It returns 0 when no positive entries exist.
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Latency accumulates per-event latencies.
+type Latency struct {
+	Count uint64
+	Sum   uint64
+	Max   uint64
+}
+
+// Add records one event of the given latency.
+func (l *Latency) Add(cycles uint64) {
+	l.Count++
+	l.Sum += cycles
+	if cycles > l.Max {
+		l.Max = cycles
+	}
+}
+
+// Avg returns the average latency, or 0 with no events.
+func (l *Latency) Avg() float64 {
+	if l.Count == 0 {
+		return 0
+	}
+	return float64(l.Sum) / float64(l.Count)
+}
+
+// Merge folds other into l.
+func (l *Latency) Merge(other Latency) {
+	l.Count += other.Count
+	l.Sum += other.Sum
+	if other.Max > l.Max {
+		l.Max = other.Max
+	}
+}
+
+// Table renders rows of labelled values as an aligned text table, the
+// format used by the experiment harness to mirror the paper's tables and
+// figure series.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are kept as-is.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowValues appends a row with a label followed by numeric cells
+// rendered with %.3g-style compact formatting.
+func (t *Table) AddRowValues(label string, values ...float64) {
+	cells := make([]string, 0, len(values)+1)
+	cells = append(cells, label)
+	for _, v := range values {
+		cells = append(cells, FormatFloat(v))
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// NumRows reports how many rows have been added.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, len(c))
+			} else if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header row first).
+// Cells containing commas or quotes are quoted per RFC 4180.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Title returns the table's title.
+func (t *Table) Title() string { return t.title }
+
+// FormatFloat renders v compactly: integers without decimals, small values
+// with three significant digits.
+func FormatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	if math.Abs(v) >= 100 {
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// SortedKeys returns the keys of m in sorted order, for deterministic
+// iteration when printing per-benchmark maps.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

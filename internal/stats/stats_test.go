@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSafeDiv(t *testing.T) {
+	if got := SafeDiv(10, 2); got != 5 {
+		t.Errorf("SafeDiv(10,2) = %v, want 5", got)
+	}
+	if got := SafeDiv(10, 0); got != 0 {
+		t.Errorf("SafeDiv(10,0) = %v, want 0", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(3, 4); got != 0.75 {
+		t.Errorf("Ratio(3,4) = %v, want 0.75", got)
+	}
+	if got := Ratio(3, 0); got != 0 {
+		t.Errorf("Ratio(3,0) = %v, want 0", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	got := Geomean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("Geomean(1,4) = %v, want 2", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Errorf("Geomean(nil) = %v, want 0", got)
+	}
+	// Non-positive entries are ignored.
+	got = Geomean([]float64{-1, 0, 8, 2})
+	if math.Abs(got-4) > 1e-12 {
+		t.Errorf("Geomean ignoring nonpositive = %v, want 4", got)
+	}
+}
+
+func TestGeomeanScaleInvariance(t *testing.T) {
+	// Property: geomean(k*xs) = k * geomean(xs) for k > 0.
+	f := func(a, b, c uint8) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		scaled := []float64{xs[0] * 3, xs[1] * 3, xs[2] * 3}
+		return math.Abs(Geomean(scaled)-3*Geomean(xs)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	var l Latency
+	l.Add(10)
+	l.Add(30)
+	if l.Count != 2 || l.Sum != 40 || l.Max != 30 {
+		t.Errorf("Latency state = %+v, want count 2 sum 40 max 30", l)
+	}
+	if got := l.Avg(); got != 20 {
+		t.Errorf("Avg = %v, want 20", got)
+	}
+	var empty Latency
+	if empty.Avg() != 0 {
+		t.Error("empty latency Avg should be 0")
+	}
+}
+
+func TestLatencyMerge(t *testing.T) {
+	a := Latency{Count: 2, Sum: 40, Max: 30}
+	b := Latency{Count: 1, Sum: 100, Max: 100}
+	a.Merge(b)
+	if a.Count != 3 || a.Sum != 140 || a.Max != 100 {
+		t.Errorf("Merge result = %+v", a)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Speedups", "bench", "stride", "ip")
+	tab.AddRowValues("black", 1.25, 1.0)
+	tab.AddRow("stream", "0.900", "1.100")
+	s := tab.String()
+	for _, want := range []string{"Speedups", "bench", "stride", "black", "1.250", "stream", "0.900"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tab.NumRows())
+	}
+}
+
+func TestTableExtraCells(t *testing.T) {
+	tab := NewTable("", "a")
+	tab.AddRow("x", "y", "z")
+	s := tab.String()
+	if !strings.Contains(s, "z") {
+		t.Errorf("extra cell dropped:\n%s", s)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{4, "4"},
+		{4.5, "4.500"},
+		{123.456, "123.5"},
+		{0.015, "0.015"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedKeys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("T", "a", "b")
+	tab.AddRow("x,y", `say "hi"`)
+	tab.AddRow("plain", "1.5")
+	csv := tab.CSV()
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\nplain,1.5\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+	if tab.Title() != "T" {
+		t.Errorf("Title = %q", tab.Title())
+	}
+}

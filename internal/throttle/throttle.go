@@ -1,0 +1,138 @@
+// Package throttle implements the paper's adaptive prefetch throttling
+// (Section V): a per-core engine that samples two GPU-specific metrics
+// every period and adjusts a throttle degree between 0 (keep every
+// prefetch) and 5 (drop every prefetch).
+//
+// The metrics are:
+//
+//   - early eviction rate (Eq. 5): prefetched blocks evicted before first
+//     use, per useful prefetch — early prefetches are always harmful;
+//   - merge ratio (Eq. 6): intra-core merges per request — in a GPGPU a
+//     merged (late) prefetch is typically a benefit, not a stall, because
+//     other warps hide the remaining latency.
+//
+// The decision table is Table I of the paper. One deviation is made
+// explicit here: Table I's "early low, merge low -> no prefetch" row is
+// only applied when the period also produced (almost) no useful
+// prefetches. Our counters make "prefetching is contributing nothing"
+// directly observable, and without this guard the row would also disable
+// perfectly-working prefetchers whose timely prefetches produce neither
+// merges nor early evictions — contradicting the paper's own Fig. 15/16
+// results, where throttling preserves the gains of well-behaved
+// benchmarks.
+package throttle
+
+import "mtprefetch/internal/stats"
+
+// Metrics is one period's monitored counters, gathered by the core.
+type Metrics struct {
+	EarlyEvictions   uint64 // prefetch-cache evictions before first use
+	UsefulPrefetches uint64 // prefetched blocks used during the period
+	IntraCoreMerges  uint64 // all MRQ merges (Eq. 6 numerator)
+	TotalRequests    uint64 // all MRQ arrivals (Eq. 6 denominator)
+	PrefetchesIssued uint64 // prefetches sent to memory
+}
+
+// Config holds the thresholds of Table I and the smoothing behaviour of
+// Eqs. 7-8.
+type Config struct {
+	EarlyHigh  float64 // early eviction rate above this is "high" (0.02)
+	EarlyLow   float64 // below this is "low" (0.01)
+	MergeHigh  float64 // merge ratio above this is "high" (0.15)
+	InitDegree int     // initial throttle degree (the paper uses 2)
+}
+
+// MaxDegree is the "no prefetch" degree.
+const MaxDegree = 5
+
+// probeInterval lets one prefetch in probeInterval through at degree 5 so
+// the metrics keep flowing and the engine can recover (the paper does not
+// specify its recovery mechanism; without probing, "no prefetch" would be
+// absorbing).
+const probeInterval = 64
+
+// Engine is one core's throttle engine.
+type Engine struct {
+	cfg         Config
+	degree      int
+	prevMerge   float64
+	haveHistory bool
+	counter     uint64
+
+	// Decision history for inspection.
+	periods           uint64
+	noPrefetchPeriods uint64
+}
+
+// New builds an engine with the given thresholds.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg, degree: cfg.InitDegree}
+}
+
+// Degree reports the current throttle degree (0..5).
+func (e *Engine) Degree() int { return e.degree }
+
+// Periods reports how many periods have been evaluated.
+func (e *Engine) Periods() uint64 { return e.periods }
+
+// NoPrefetchPeriods reports periods spent fully throttled.
+func (e *Engine) NoPrefetchPeriods() uint64 { return e.noPrefetchPeriods }
+
+// Allow decides the fate of one candidate prefetch under the current
+// degree: degree d drops d out of every 5 candidates; at degree 5 only a
+// sparse probe stream survives.
+func (e *Engine) Allow() bool {
+	if e.degree <= 0 {
+		return true
+	}
+	e.counter++
+	if e.degree >= MaxDegree {
+		return e.counter%probeInterval == 0
+	}
+	return int(e.counter%MaxDegree) >= e.degree
+}
+
+// EndPeriod applies Table I to the period's metrics and returns the new
+// degree.
+func (e *Engine) EndPeriod(m Metrics) int {
+	e.periods++
+	// Eq. 7: the early eviction rate uses only the monitored value.
+	early := stats.Ratio(m.EarlyEvictions, m.UsefulPrefetches)
+	if m.UsefulPrefetches == 0 && m.EarlyEvictions > 0 {
+		early = 1 // all harm, no use
+	}
+	// Eq. 8: the merge ratio is smoothed with the previous period.
+	monitoredMerge := stats.Ratio(m.IntraCoreMerges, m.TotalRequests)
+	merge := monitoredMerge
+	if e.haveHistory {
+		merge = (e.prevMerge + monitoredMerge) / 2
+	}
+	e.prevMerge = merge
+	e.haveHistory = true
+
+	usefulRate := stats.Ratio(m.UsefulPrefetches, m.PrefetchesIssued)
+
+	switch {
+	case early > e.cfg.EarlyHigh:
+		e.degree = MaxDegree // Table I row 1: no prefetch
+	case early >= e.cfg.EarlyLow:
+		if e.degree < MaxDegree {
+			e.degree++ // row 2: fewer prefetches
+		}
+	case merge > e.cfg.MergeHigh:
+		if e.degree > 0 {
+			e.degree-- // row 3: more prefetches
+		}
+	default:
+		// Row 4 (early low, merge low): "no prefetch" — applied only
+		// when prefetching is demonstrably contributing nothing (see
+		// the package comment).
+		if m.PrefetchesIssued > 0 && usefulRate < 0.1 {
+			e.degree = MaxDegree
+		}
+	}
+	if e.degree >= MaxDegree {
+		e.noPrefetchPeriods++
+	}
+	return e.degree
+}

@@ -1,0 +1,163 @@
+package throttle
+
+import "testing"
+
+func cfg() Config {
+	return Config{EarlyHigh: 0.02, EarlyLow: 0.01, MergeHigh: 0.15, InitDegree: 2}
+}
+
+func TestInitialDegree(t *testing.T) {
+	e := New(cfg())
+	if e.Degree() != 2 {
+		t.Errorf("initial degree = %d, want 2 (paper default)", e.Degree())
+	}
+}
+
+func TestHighEarlyEvictionDisablesPrefetch(t *testing.T) {
+	e := New(cfg())
+	got := e.EndPeriod(Metrics{
+		EarlyEvictions: 10, UsefulPrefetches: 100, // rate 0.1 > 0.02
+		IntraCoreMerges: 50, TotalRequests: 100, PrefetchesIssued: 200,
+	})
+	if got != MaxDegree {
+		t.Errorf("degree = %d, want %d (Table I row 1)", got, MaxDegree)
+	}
+	if e.NoPrefetchPeriods() != 1 {
+		t.Errorf("NoPrefetchPeriods = %d, want 1", e.NoPrefetchPeriods())
+	}
+}
+
+func TestMediumEarlyIncreasesThrottle(t *testing.T) {
+	e := New(cfg())
+	got := e.EndPeriod(Metrics{
+		EarlyEvictions: 15, UsefulPrefetches: 1000, // 0.015: medium
+		IntraCoreMerges: 0, TotalRequests: 100, PrefetchesIssued: 200,
+	})
+	if got != 3 {
+		t.Errorf("degree = %d, want 3 (Table I row 2)", got)
+	}
+}
+
+func TestLowEarlyHighMergeDecreasesThrottle(t *testing.T) {
+	e := New(cfg())
+	got := e.EndPeriod(Metrics{
+		EarlyEvictions: 1, UsefulPrefetches: 1000, // 0.001: low
+		IntraCoreMerges: 30, TotalRequests: 100, // 0.30 > 0.15
+		PrefetchesIssued: 200,
+	})
+	if got != 1 {
+		t.Errorf("degree = %d, want 1 (Table I row 3)", got)
+	}
+	// Bounded at 0.
+	e.EndPeriod(Metrics{UsefulPrefetches: 1000, IntraCoreMerges: 90, TotalRequests: 100, PrefetchesIssued: 200})
+	got = e.EndPeriod(Metrics{UsefulPrefetches: 1000, IntraCoreMerges: 90, TotalRequests: 100, PrefetchesIssued: 200})
+	if got != 0 {
+		t.Errorf("degree = %d, want 0 (floor)", got)
+	}
+}
+
+func TestLowLowWithUselessPrefetchingDisables(t *testing.T) {
+	e := New(cfg())
+	got := e.EndPeriod(Metrics{
+		EarlyEvictions: 0, UsefulPrefetches: 5, // low early
+		IntraCoreMerges: 1, TotalRequests: 100, // low merge
+		PrefetchesIssued: 1000, // useful rate 0.005 < 0.1
+	})
+	if got != MaxDegree {
+		t.Errorf("degree = %d, want %d (Table I row 4)", got, MaxDegree)
+	}
+}
+
+func TestLowLowWithUsefulPrefetchingKeepsDegree(t *testing.T) {
+	// The documented deviation: well-working prefetching (high useful
+	// rate, no early evictions, no merges) must not be disabled.
+	e := New(cfg())
+	got := e.EndPeriod(Metrics{
+		EarlyEvictions: 0, UsefulPrefetches: 950,
+		IntraCoreMerges: 1, TotalRequests: 1000,
+		PrefetchesIssued: 1000,
+	})
+	if got != 2 {
+		t.Errorf("degree = %d, want unchanged 2", got)
+	}
+}
+
+func TestAllEarlyNoUseful(t *testing.T) {
+	e := New(cfg())
+	got := e.EndPeriod(Metrics{
+		EarlyEvictions: 50, UsefulPrefetches: 0,
+		TotalRequests: 100, PrefetchesIssued: 100,
+	})
+	if got != MaxDegree {
+		t.Errorf("degree = %d, want %d (pure harm)", got, MaxDegree)
+	}
+}
+
+func TestMergeSmoothing(t *testing.T) {
+	// Eq. 8: merge ratio is averaged with the previous period, so one
+	// quiet period after a merge-heavy one still reads as "high".
+	e := New(cfg())
+	e.EndPeriod(Metrics{UsefulPrefetches: 1000, IntraCoreMerges: 60, TotalRequests: 100, PrefetchesIssued: 100}) // 0.6
+	got := e.EndPeriod(Metrics{UsefulPrefetches: 1000, IntraCoreMerges: 0, TotalRequests: 100, PrefetchesIssued: 100})
+	// smoothed = (0.6 + 0)/2 = 0.3 > 0.15 -> decrease again.
+	if got != 0 {
+		t.Errorf("degree = %d, want 0 (smoothed merge still high)", got)
+	}
+}
+
+func TestAllowFractions(t *testing.T) {
+	counts := func(degree int) int {
+		e := New(Config{InitDegree: degree})
+		allowed := 0
+		for i := 0; i < 1000; i++ {
+			if e.Allow() {
+				allowed++
+			}
+		}
+		return allowed
+	}
+	if got := counts(0); got != 1000 {
+		t.Errorf("degree 0 allowed %d/1000, want all", got)
+	}
+	if got := counts(1); got != 800 {
+		t.Errorf("degree 1 allowed %d/1000, want 800", got)
+	}
+	if got := counts(3); got != 400 {
+		t.Errorf("degree 3 allowed %d/1000, want 400", got)
+	}
+	if got := counts(5); got < 10 || got > 20 {
+		t.Errorf("degree 5 allowed %d/1000, want a sparse probe stream (~15)", got)
+	}
+}
+
+func TestRecoveryFromNoPrefetch(t *testing.T) {
+	e := New(cfg())
+	// Driven to no-prefetch...
+	e.EndPeriod(Metrics{EarlyEvictions: 50, UsefulPrefetches: 100, TotalRequests: 100, PrefetchesIssued: 100})
+	if e.Degree() != MaxDegree {
+		t.Fatal("not disabled")
+	}
+	// ...probe prefetches turn out useful and merge-heavy: recover.
+	e.EndPeriod(Metrics{UsefulPrefetches: 10, IntraCoreMerges: 40, TotalRequests: 100, PrefetchesIssued: 10})
+	if e.Degree() != MaxDegree-1 {
+		t.Errorf("degree = %d, want %d (one step of recovery)", e.Degree(), MaxDegree-1)
+	}
+}
+
+func TestPeriodsCounted(t *testing.T) {
+	e := New(cfg())
+	for i := 0; i < 7; i++ {
+		e.EndPeriod(Metrics{UsefulPrefetches: 100, PrefetchesIssued: 100})
+	}
+	if e.Periods() != 7 {
+		t.Errorf("Periods = %d, want 7", e.Periods())
+	}
+}
+
+func TestZeroMetricsNoCrash(t *testing.T) {
+	e := New(cfg())
+	got := e.EndPeriod(Metrics{})
+	if got != 2 {
+		t.Errorf("degree = %d, want unchanged 2 on empty period", got)
+	}
+}

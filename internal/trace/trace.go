@@ -1,0 +1,352 @@
+// Package trace provides an offline, trace-driven workflow for prefetcher
+// development, mirroring how the paper's own simulator was driven
+// (GPUOcelot-generated traces): kernels are executed functionally to
+// produce per-warp memory-access event streams, events are serialized in
+// a compact binary format, and recorded streams can be replayed against
+// any hardware prefetcher to measure pattern coverage and accuracy
+// without running the full timing simulator.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"mtprefetch/internal/kernel"
+	"mtprefetch/internal/prefetch"
+	"mtprefetch/internal/workload"
+)
+
+// Event is one warp-level demand access: the leading block address plus
+// the block offsets of the coalesced footprint (offset 0 included).
+type Event struct {
+	PC        uint32
+	WarpID    uint32
+	Addr      uint64
+	Footprint []uint32 // byte offsets from Addr, block-aligned
+}
+
+// Order selects how warps' accesses interleave in a generated trace.
+type Order uint8
+
+const (
+	// WarpMajor emits each warp's whole access stream before the next
+	// warp's — the "executed long enough to train" best case of
+	// Section VIII-A.
+	WarpMajor Order = iota
+	// Interleaved round-robins accesses across a resident window of
+	// warps, reproducing the Fig. 5 interleaving a real core produces.
+	Interleaved
+)
+
+// String implements fmt.Stringer.
+func (o Order) String() string {
+	switch o {
+	case WarpMajor:
+		return "warp-major"
+	case Interleaved:
+		return "interleaved"
+	default:
+		return fmt.Sprintf("Order(%d)", uint8(o))
+	}
+}
+
+// Generate functionally executes a workload's kernel and returns its
+// demand-access events. window is the number of co-resident warps for
+// Interleaved order (typically Spec.ActiveWarpsPerCore()).
+func Generate(s *workload.Spec, order Order, window, blockBytes int) []Event {
+	if window < 1 {
+		window = 1
+	}
+	perWarp := func(gwid int) []Event {
+		var evs []Event
+		prog := s.Program
+		iter := 0
+		trips := prog.LoopTrips
+		var buf []uint64
+		for pc := 0; pc < len(prog.Instrs); pc++ {
+			in := &prog.Instrs[pc]
+			switch in.Op {
+			case kernel.OpLoad:
+				buf = in.Mem.Transactions(gwid, 32, iter, blockBytes, buf[:0])
+				base := buf[0]
+				for _, a := range buf[1:] {
+					if a < base {
+						base = a
+					}
+				}
+				foot := make([]uint32, len(buf))
+				for i, a := range buf {
+					foot[i] = uint32(a - base)
+				}
+				evs = append(evs, Event{PC: uint32(pc), WarpID: uint32(gwid), Addr: base, Footprint: foot})
+			case kernel.OpLoopBack:
+				if trips > 1 {
+					trips--
+					iter++
+					pc = in.Target - 1
+				}
+			}
+		}
+		return evs
+	}
+
+	var out []Event
+	switch order {
+	case WarpMajor:
+		for w := 0; w < s.TotalWarps; w++ {
+			out = append(out, perWarp(w)...)
+		}
+	case Interleaved:
+		for start := 0; start < s.TotalWarps; start += window {
+			end := start + window
+			if end > s.TotalWarps {
+				end = s.TotalWarps
+			}
+			streams := make([][]Event, end-start)
+			for i := range streams {
+				streams[i] = perWarp(start + i)
+			}
+			for more := true; more; {
+				more = false
+				for i := range streams {
+					if len(streams[i]) > 0 {
+						out = append(out, streams[i][0])
+						streams[i] = streams[i][1:]
+						more = more || len(streams[i]) > 0
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Binary format: magic, version, then per event:
+//
+//	u32 pc | u32 warp | u64 addr | u16 footLen | footLen x u32 offsets
+var magic = [4]byte{'M', 'T', 'P', 'T'}
+
+const version uint16 = 1
+
+// Write serializes events to w.
+func Write(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, version); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(events))); err != nil {
+		return err
+	}
+	for i := range events {
+		e := &events[i]
+		if len(e.Footprint) > 1<<16-1 {
+			return fmt.Errorf("trace: footprint too large (%d)", len(e.Footprint))
+		}
+		if err := binary.Write(bw, binary.LittleEndian, e.PC); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, e.WarpID); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, e.Addr); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(e.Footprint))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, e.Footprint); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) ([]Event, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("trace: bad magic (not an mtprefetch trace)")
+	}
+	var v uint16
+	if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	const maxEvents = 1 << 30
+	if n > maxEvents {
+		return nil, fmt.Errorf("trace: implausible event count %d", n)
+	}
+	events := make([]Event, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e Event
+		if err := binary.Read(br, binary.LittleEndian, &e.PC); err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &e.WarpID); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &e.Addr); err != nil {
+			return nil, err
+		}
+		var fl uint16
+		if err := binary.Read(br, binary.LittleEndian, &fl); err != nil {
+			return nil, err
+		}
+		e.Footprint = make([]uint32, fl)
+		if err := binary.Read(br, binary.LittleEndian, e.Footprint); err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+// ReplayResult summarizes an offline prefetcher replay.
+type ReplayResult struct {
+	Events              uint64 // warp accesses replayed
+	Transactions        uint64 // block transactions
+	Covered             uint64 // transactions that hit a prefetched block
+	PrefetchesGenerated uint64
+	PrefetchesUseful    uint64 // generated blocks later demanded before eviction
+}
+
+// Coverage is the fraction of demand transactions served by prefetches.
+func (r ReplayResult) Coverage() float64 {
+	if r.Transactions == 0 {
+		return 0
+	}
+	return float64(r.Covered) / float64(r.Transactions)
+}
+
+// Accuracy is the fraction of generated prefetches that proved useful.
+func (r ReplayResult) Accuracy() float64 {
+	if r.PrefetchesGenerated == 0 {
+		return 0
+	}
+	return float64(r.PrefetchesUseful) / float64(r.PrefetchesGenerated)
+}
+
+// Replay drives a prefetcher with a trace against an idealized
+// (zero-latency) prefetch cache of the given geometry. The result is the
+// pattern-coverage upper bound: what the prefetcher could cover if
+// timeliness were never an issue — the right tool for comparing training
+// algorithms (e.g. naive vs warp-id indexing) in isolation.
+func Replay(events []Event, p prefetch.Prefetcher, cacheBytes, ways, blockBytes int) ReplayResult {
+	var res ReplayResult
+	c := newReplayCache(cacheBytes, ways, blockBytes)
+	var cand []uint64
+	var foot []uint64
+	for i := range events {
+		e := &events[i]
+		res.Events++
+		for _, off := range e.Footprint {
+			res.Transactions++
+			if c.demand(e.Addr + uint64(off)) {
+				res.Covered++
+			}
+		}
+		foot = foot[:0]
+		for _, off := range e.Footprint {
+			foot = append(foot, uint64(off))
+		}
+		cand = p.Observe(prefetch.Train{
+			PC: int(e.PC), WarpID: int(e.WarpID), Addr: e.Addr, Footprint: foot,
+		}, cand[:0])
+		for _, a := range cand {
+			res.PrefetchesGenerated++
+			c.fill(a &^ (uint64(blockBytes) - 1))
+		}
+	}
+	res.PrefetchesUseful = c.used
+	return res
+}
+
+// replayCache is a tiny set-associative presence cache for Replay.
+type replayCache struct {
+	sets, ways int
+	blockBits  uint
+	tags       []uint64
+	valid      []bool
+	usedBit    []bool
+	stampArr   []uint64
+	stamp      uint64
+	used       uint64
+}
+
+func newReplayCache(sizeBytes, ways, blockBytes int) *replayCache {
+	c := &replayCache{ways: ways}
+	for b := blockBytes; b > 1; b >>= 1 {
+		c.blockBits++
+	}
+	c.sets = sizeBytes / blockBytes / ways
+	if c.sets < 1 {
+		c.sets = 1
+	}
+	n := c.sets * ways
+	c.tags = make([]uint64, n)
+	c.valid = make([]bool, n)
+	c.usedBit = make([]bool, n)
+	c.stampArr = make([]uint64, n)
+	return c
+}
+
+func (c *replayCache) slot(addr uint64) (int, uint64) {
+	blk := addr >> c.blockBits
+	return int(blk%uint64(c.sets)) * c.ways, blk
+}
+
+func (c *replayCache) demand(addr uint64) bool {
+	base, tag := c.slot(addr)
+	for i := base; i < base+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == tag {
+			c.stamp++
+			c.stampArr[i] = c.stamp
+			if !c.usedBit[i] {
+				c.usedBit[i] = true
+				c.used++
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (c *replayCache) fill(addr uint64) {
+	base, tag := c.slot(addr)
+	victim := base
+	for i := base; i < base+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == tag {
+			c.stamp++
+			c.stampArr[i] = c.stamp
+			return
+		}
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.stampArr[i] < c.stampArr[victim] {
+			victim = i
+		}
+	}
+	c.stamp++
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.usedBit[victim] = false
+	c.stampArr[victim] = c.stamp
+}

@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"mtprefetch/internal/core"
+	"mtprefetch/internal/prefetch"
+	"mtprefetch/internal/workload"
+)
+
+func TestGenerateCounts(t *testing.T) {
+	s := workload.ByName("monte").Scaled(64)
+	evs := Generate(s, WarpMajor, 16, 64)
+	c := s.Program.DynamicCounts()
+	want := s.TotalWarps * c.Loads
+	if len(evs) != want {
+		t.Fatalf("events = %d, want %d (warps x dynamic loads)", len(evs), want)
+	}
+	// Interleaving preserves the event multiset size.
+	evs2 := Generate(s, Interleaved, 16, 64)
+	if len(evs2) != want {
+		t.Fatalf("interleaved events = %d, want %d", len(evs2), want)
+	}
+}
+
+func TestGenerateOrders(t *testing.T) {
+	s := workload.ByName("monte").Scaled(128)
+	wm := Generate(s, WarpMajor, 8, 64)
+	il := Generate(s, Interleaved, 8, 64)
+	// Warp-major: warp ids are non-decreasing.
+	for i := 1; i < len(wm); i++ {
+		if wm[i].WarpID < wm[i-1].WarpID {
+			t.Fatal("warp-major order violated")
+		}
+	}
+	// Interleaved: warp ids must change between adjacent events somewhere
+	// early (round-robin across the window).
+	changes := 0
+	for i := 1; i < len(il) && i < 32; i++ {
+		if il[i].WarpID != il[i-1].WarpID {
+			changes++
+		}
+	}
+	if changes < 8 {
+		t.Fatalf("interleaved order too sequential: %d warp changes in 32 events", changes)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := workload.ByName("cfd").Scaled(404)
+	evs := Generate(s, Interleaved, 6, 64)
+	var buf bytes.Buffer
+	if err := Write(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("round trip lost events: %d vs %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i].PC != evs[i].PC || got[i].WarpID != evs[i].WarpID || got[i].Addr != evs[i].Addr {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, got[i], evs[i])
+		}
+		if len(got[i].Footprint) != len(evs[i].Footprint) {
+			t.Fatalf("event %d footprint mismatch", i)
+		}
+		for j := range evs[i].Footprint {
+			if got[i].Footprint[j] != evs[i].Footprint[j] {
+				t.Fatalf("event %d offset %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace at all"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated: valid header claiming events, then EOF.
+	var buf bytes.Buffer
+	Write(&buf, []Event{{PC: 1, WarpID: 2, Addr: 64, Footprint: []uint32{0}}})
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestWriteEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty trace read back %d events", len(got))
+	}
+}
+
+// TestReplayStridePattern: a warp-major stride trace should be almost
+// fully covered by a warp-aware StridePC prefetcher in the idealized
+// replay (only cold/first accesses miss).
+func TestReplayStridePattern(t *testing.T) {
+	s := workload.ByName("scalar").Scaled(32)
+	evs := Generate(s, WarpMajor, 16, 64)
+	p := prefetch.NewStridePC(prefetch.StridePCOptions{WarpAware: true})
+	res := Replay(evs, p, 16*1024, 8, 64)
+	if res.Events == 0 || res.Transactions == 0 {
+		t.Fatal("empty replay")
+	}
+	if cov := res.Coverage(); cov < 0.5 {
+		t.Errorf("warp-aware coverage = %.2f, want > 0.5 on a pure stride trace", cov)
+	}
+	if acc := res.Accuracy(); acc < 0.5 {
+		t.Errorf("accuracy = %.2f, want > 0.5", acc)
+	}
+}
+
+// TestReplayFig5Offline reproduces the paper's Fig. 5 offline: on an
+// interleaved trace, warp-aware training must beat naive PC-only training.
+func TestReplayFig5Offline(t *testing.T) {
+	s := workload.ByName("scalar").Scaled(16)
+	evs := Generate(s, Interleaved, 16, 64)
+	naive := Replay(evs, prefetch.NewStridePC(prefetch.StridePCOptions{}), 16*1024, 8, 64)
+	aware := Replay(evs, prefetch.NewStridePC(prefetch.StridePCOptions{WarpAware: true}), 16*1024, 8, 64)
+	if aware.Coverage() <= naive.Coverage() {
+		t.Errorf("warp-aware coverage %.3f not above naive %.3f on interleaved trace",
+			aware.Coverage(), naive.Coverage())
+	}
+}
+
+func TestReplayMTHWPIPOnLoopFreeTrace(t *testing.T) {
+	// mp-type kernels have no per-warp stride; only the IP table covers
+	// them.
+	s := workload.ByName("ocean").Scaled(512)
+	evs := Generate(s, WarpMajor, 16, 64)
+	pws := Replay(evs, prefetch.NewMTHWP(prefetch.MTHWPOptions{}), 16*1024, 8, 64)
+	ip := Replay(evs, prefetch.NewMTHWP(prefetch.MTHWPOptions{EnableIP: true}), 16*1024, 8, 64)
+	if pws.PrefetchesGenerated != 0 {
+		t.Errorf("PWS generated %d prefetches on a loop-free trace", pws.PrefetchesGenerated)
+	}
+	if ip.Coverage() < 0.5 {
+		t.Errorf("IP coverage = %.3f on a regular loop-free trace, want > 0.5", ip.Coverage())
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	for _, o := range []Order{WarpMajor, Interleaved, Order(9)} {
+		if o.String() == "" {
+			t.Errorf("Order(%d).String empty", uint8(o))
+		}
+	}
+}
+
+// TestGenerateMatchesSimulatorDemandCount cross-checks the functional
+// trace generator against the timing simulator: total demand transactions
+// must agree for the same workload.
+func TestGenerateMatchesSimulatorDemandCount(t *testing.T) {
+	s := workload.ByName("mersenne").Scaled(2)
+	evs := Generate(s, WarpMajor, 8, 64)
+	txs := uint64(0)
+	for i := range evs {
+		txs += uint64(len(evs[i].Footprint))
+	}
+	r, err := core.Run(core.Options{Workload: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txs != r.DemandTransactions {
+		t.Errorf("trace transactions = %d, simulator demand transactions = %d", txs, r.DemandTransactions)
+	}
+}
+
+func TestReplayEmpty(t *testing.T) {
+	res := Replay(nil, prefetch.NewStridePC(prefetch.StridePCOptions{}), 1024, 4, 64)
+	if res.Events != 0 || res.Coverage() != 0 || res.Accuracy() != 0 {
+		t.Errorf("empty replay produced %+v", res)
+	}
+}
+
+func TestWriteRejectsOversizedFootprint(t *testing.T) {
+	var buf bytes.Buffer
+	big := Event{Footprint: make([]uint32, 1<<16)}
+	if err := Write(&buf, []Event{big}); err == nil {
+		t.Error("oversized footprint accepted")
+	}
+}

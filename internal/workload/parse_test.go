@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"mtprefetch/internal/kernel"
+)
+
+const demoKernel = `
+# a sliding-window stride kernel
+kernel demo warps=1024 blocks=128 maxblk=2 regs=20 class=stride
+loop 8
+  load   A0 lane=4 iter=128
+  load   A0 lane=4 iter=128 offset=128
+  compute 6
+  imul 1
+  store  A1 lane=4 iter=128
+end
+`
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec(demoKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "demo" || s.TotalWarps != 1024 || s.Blocks != 128 ||
+		s.MaxBlocksPerCore != 2 || s.RegsPerThread != 20 || s.Class != Stride {
+		t.Fatalf("header parsed wrong: %+v", s)
+	}
+	if !s.Program.HasLoop() || s.Program.LoopTrips != 8 {
+		t.Fatal("loop lost")
+	}
+	c := s.Program.DynamicCounts()
+	if c.Loads != 16 { // 2 loads x 8 trips
+		t.Errorf("dynamic loads = %d, want 16", c.Loads)
+	}
+	if c.Compute != 7*8 { // 6 alu + 1 imul per trip
+		t.Errorf("dynamic compute = %d, want 56", c.Compute)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSpecAccessAttributes(t *testing.T) {
+	src := `
+kernel x warps=32 blocks=32 maxblk=1
+load A2 lane=64 hash span=1048576
+load A3 lane=4 shared=16
+prefetch A2 lane=64 warpahead=1
+store A4 lane=4
+`
+	s, err := ParseSpec(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := s.Program.Instrs
+	if !in[0].Mem.Hash || in[0].Mem.Span != 1<<20 || in[0].Mem.Array != 2 {
+		t.Errorf("hash load parsed wrong: %+v", in[0].Mem)
+	}
+	if in[1].Mem.WarpPeriod != 16 {
+		t.Errorf("shared load parsed wrong: %+v", in[1].Mem)
+	}
+	if in[2].Op != kernel.OpPrefetch || in[2].Mem.WarpAhead != 1 {
+		t.Errorf("prefetch parsed wrong: %+v", in[2])
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"no header", "load A0 lane=4"},
+		{"duplicate header", "kernel a warps=32 blocks=32\nkernel b warps=32 blocks=32"},
+		{"missing grid", "kernel a\nload A0 lane=4"},
+		{"bad warps", "kernel a warps=x blocks=32\nload A0 lane=4"},
+		{"indivisible warps", "kernel a warps=33 blocks=32\nload A0 lane=4"},
+		{"unknown class", "kernel a warps=32 blocks=32 class=weird\nload A0 lane=4"},
+		{"unknown directive", "kernel a warps=32 blocks=32\nfly A0"},
+		{"bad array", "kernel a warps=32 blocks=32\nload B0 lane=4"},
+		{"bad attribute", "kernel a warps=32 blocks=32\nload A0 lane=four"},
+		{"unknown attribute", "kernel a warps=32 blocks=32\nload A0 wat=4"},
+		{"nested loop", "kernel a warps=32 blocks=32\nloop 2\nloop 2\ncompute 1\nend\nend"},
+		{"unclosed loop", "kernel a warps=32 blocks=32\nloop 2\ncompute 1"},
+		{"end without loop", "kernel a warps=32 blocks=32\ncompute 1\nend"},
+		{"zero trips", "kernel a warps=32 blocks=32\nloop 0\ncompute 1\nend"},
+		{"no instructions", "kernel a warps=32 blocks=32"},
+		{"compute without count", "kernel a warps=32 blocks=32\ncompute"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseSpec(tc.src); err == nil {
+				t.Errorf("ParseSpec accepted %q", tc.name)
+			}
+		})
+	}
+}
+
+func TestParseSpecErrorHasLineNumber(t *testing.T) {
+	_, err := ParseSpec("kernel a warps=32 blocks=32\nload A0 lane=4\nfly")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %v should name line 3", err)
+	}
+}
+
+func TestParsedSpecMatchesBuiltEquivalent(t *testing.T) {
+	// The parsed demo kernel must coalesce identically to the same kernel
+	// built through the Go API.
+	s, err := ParseSpec(demoKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := kernel.NewBuilder("demo")
+	b.BeginLoop(8)
+	v := b.Load(kernel.Access{Array: 0, LaneStrideB: 4, IterStrideB: 128})
+	b.Load(kernel.Access{Array: 0, LaneStrideB: 4, IterStrideB: 128, Offset: 128})
+	r := b.Compute(6, v)
+	r = b.IMul(r)
+	b.Store(kernel.Access{Array: 1, LaneStrideB: 4, IterStrideB: 128}, r)
+	b.EndLoop()
+	want := b.MustBuild()
+	for i := range want.Instrs {
+		wi, gi := &want.Instrs[i], &s.Program.Instrs[i]
+		if wi.Op != gi.Op {
+			t.Fatalf("instr %d op %v vs %v", i, gi.Op, wi.Op)
+		}
+		if wi.Mem != nil && *wi.Mem != *gi.Mem {
+			t.Fatalf("instr %d access %+v vs %+v", i, gi.Mem, wi.Mem)
+		}
+	}
+}

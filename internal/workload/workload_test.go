@@ -1,0 +1,284 @@
+package workload
+
+import (
+	"testing"
+
+	"mtprefetch/internal/kernel"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	if got := len(MemoryIntensive()); got != 14 {
+		t.Errorf("memory-intensive count = %d, want 14 (Table III)", got)
+	}
+	if got := len(NonIntensiveSpecs()); got != 12 {
+		t.Errorf("non-intensive count = %d, want 12 (Table IV)", got)
+	}
+	if got := len(Specs()); got != 26 {
+		t.Errorf("total suite = %d, want 26", got)
+	}
+	if got := len(ByClass(Stride)); got != 7 {
+		t.Errorf("stride-type count = %d, want 7", got)
+	}
+	if got := len(ByClass(MP)); got != 3 {
+		t.Errorf("mp-type count = %d, want 3", got)
+	}
+	if got := len(ByClass(Uncoal)); got != 4 {
+		t.Errorf("uncoal-type count = %d, want 4", got)
+	}
+}
+
+func TestAllSpecsValid(t *testing.T) {
+	for _, s := range Specs() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+// TestTableIIIGridParameters pins the published per-benchmark grid values.
+func TestTableIIIGridParameters(t *testing.T) {
+	cases := []struct {
+		name          string
+		warps, blocks int
+		maxBlk        int
+		class         Class
+	}{
+		{"black", 1920, 480, 3, Stride},
+		{"conv", 4128, 688, 2, Stride},
+		{"mersenne", 128, 32, 2, Stride},
+		{"monte", 2048, 256, 2, Stride},
+		{"pns", 144, 18, 1, Stride},
+		{"scalar", 1024, 128, 2, Stride},
+		{"stream", 2048, 128, 1, Stride},
+		{"backprop", 16384, 2048, 2, MP},
+		{"cell", 21296, 1331, 1, MP},
+		{"ocean", 32768, 16384, 8, MP},
+		{"bfs", 2048, 128, 1, Uncoal},
+		{"cfd", 7272, 1212, 1, Uncoal},
+		{"linear", 8192, 1024, 2, Uncoal},
+		{"sepia", 8192, 1024, 3, Uncoal},
+	}
+	for _, c := range cases {
+		s := ByName(c.name)
+		if s == nil {
+			t.Errorf("benchmark %s missing", c.name)
+			continue
+		}
+		if s.TotalWarps != c.warps || s.Blocks != c.blocks || s.MaxBlocksPerCore != c.maxBlk {
+			t.Errorf("%s grid = %d/%d/%d, want %d/%d/%d", c.name,
+				s.TotalWarps, s.Blocks, s.MaxBlocksPerCore, c.warps, c.blocks, c.maxBlk)
+		}
+		if s.Class != c.class {
+			t.Errorf("%s class = %v, want %v", c.name, s.Class, c.class)
+		}
+	}
+}
+
+func TestClassShapes(t *testing.T) {
+	for _, s := range MemoryIntensive() {
+		hasLoop := s.Program.HasLoop()
+		switch s.Class {
+		case Stride:
+			if !hasLoop {
+				t.Errorf("%s: stride-type benchmarks must contain loops", s.Name)
+			}
+		case MP, Uncoal:
+			if hasLoop {
+				t.Errorf("%s: %v-type benchmarks must be loop-free (short threads)", s.Name, s.Class)
+			}
+		}
+		if s.Class == Uncoal {
+			uncoal := false
+			for i := range s.Program.Instrs {
+				in := &s.Program.Instrs[i]
+				// A lane stride of 16B or more spreads a warp over at
+				// least 8 blocks — far from the 2-block coalesced ideal.
+				if in.Op == kernel.OpLoad && in.Mem.LaneStrideB >= 16 {
+					uncoal = true
+				}
+			}
+			if !uncoal {
+				t.Errorf("%s: uncoal-type benchmark has no uncoalesced loads", s.Name)
+			}
+		}
+	}
+}
+
+func TestWarpsPerBlockDivides(t *testing.T) {
+	for _, s := range Specs() {
+		if s.TotalWarps%s.Blocks != 0 {
+			t.Errorf("%s: %d warps not divisible by %d blocks", s.Name, s.TotalWarps, s.Blocks)
+		}
+		if s.WarpsPerBlock() < 1 {
+			t.Errorf("%s: warps per block < 1", s.Name)
+		}
+	}
+}
+
+func TestActiveWarpsPerCore(t *testing.T) {
+	s := ByName("stream")
+	// 16 warps/block x 1 block/core.
+	if got := s.ActiveWarpsPerCore(); got != 16 {
+		t.Errorf("stream active warps = %d, want 16", got)
+	}
+	s = ByName("black")
+	// 4 warps/block x 3 blocks/core.
+	if got := s.ActiveWarpsPerCore(); got != 12 {
+		t.Errorf("black active warps = %d, want 12", got)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := ByName("backprop")
+	sc := s.Scaled(8)
+	if sc.WarpsPerBlock() != s.WarpsPerBlock() {
+		t.Errorf("Scaled changed warps-per-block: %d vs %d", sc.WarpsPerBlock(), s.WarpsPerBlock())
+	}
+	if sc.Blocks != s.Blocks/8 {
+		t.Errorf("Scaled blocks = %d, want %d", sc.Blocks, s.Blocks/8)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Errorf("scaled spec invalid: %v", err)
+	}
+	// Scaling never drops below one block.
+	tiny := ByName("mersenne").Scaled(1000)
+	if tiny.Blocks != 1 {
+		t.Errorf("tiny scale blocks = %d, want 1", tiny.Blocks)
+	}
+	// Factor <= 1 is identity.
+	if s.Scaled(1) != s {
+		t.Error("Scaled(1) should return the receiver")
+	}
+	// Original untouched.
+	if s.Blocks != 2048 {
+		t.Errorf("Scaled mutated the original: %d blocks", s.Blocks)
+	}
+}
+
+func TestSpecsReturnsCopy(t *testing.T) {
+	a := Specs()
+	a[0] = nil
+	if Specs()[0] == nil {
+		t.Fatal("Specs exposes internal slice")
+	}
+}
+
+func TestByNameMissing(t *testing.T) {
+	if ByName("nope") != nil {
+		t.Fatal("ByName should return nil for unknown benchmark")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for _, c := range []Class{Stride, MP, Uncoal, NonIntensive, Class(9)} {
+		if c.String() == "" {
+			t.Errorf("Class(%d).String empty", uint8(c))
+		}
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	good := *ByName("black")
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }},
+		{"zero blocks", func(s *Spec) { s.Blocks = 0 }},
+		{"indivisible warps", func(s *Spec) { s.TotalWarps = 7; s.Blocks = 2 }},
+		{"zero occupancy", func(s *Spec) { s.MaxBlocksPerCore = 0 }},
+		{"zero regs", func(s *Spec) { s.RegsPerThread = 0 }},
+		{"nil program", func(s *Spec) { s.Program = nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := good
+			tc.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Errorf("Validate accepted %q", tc.name)
+			}
+		})
+	}
+}
+
+// TestMemoryIntensityRatio sanity-checks that memory-intensive kernels
+// generate more memory transactions per compute instruction than the
+// non-intensive set (transactions, not instructions, are what load the
+// memory system — an uncoalesced load counts many times).
+func TestMemoryIntensityRatio(t *testing.T) {
+	txPerCompute := func(s *Spec) float64 {
+		c := s.Program.DynamicCounts()
+		txs := 0
+		for i := range s.Program.Instrs {
+			in := &s.Program.Instrs[i]
+			if in.Op.IsMemory() {
+				txs += len(in.Mem.Transactions(0, 32, 0, 64, nil))
+			}
+		}
+		return float64(txs) / float64(c.Compute/maxInt(1, s.Program.LoopTrips)+1)
+	}
+	minIntensive := 1e9
+	for _, s := range MemoryIntensive() {
+		if r := txPerCompute(s); r < minIntensive {
+			minIntensive = r
+		}
+	}
+	for _, s := range NonIntensiveSpecs() {
+		if r := txPerCompute(s); r >= minIntensive {
+			t.Errorf("%s tx:compute ratio %.2f not below the memory-intensive minimum %.2f",
+				s.Name, r, minIntensive)
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestDesignTableModels pins the kernel-model claims of DESIGN.md's
+// per-benchmark table.
+func TestDesignTableModels(t *testing.T) {
+	hasShared := func(s *Spec) bool {
+		for i := range s.Program.Instrs {
+			in := &s.Program.Instrs[i]
+			if in.Op == kernel.OpLoad && in.Mem.WarpPeriod > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	hasHashed := func(s *Spec) bool {
+		for i := range s.Program.Instrs {
+			in := &s.Program.Instrs[i]
+			if in.Op == kernel.OpLoad && in.Mem.Hash {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasShared(ByName("backprop")) || !hasShared(ByName("cell")) {
+		t.Error("backprop/cell must carry shared loads")
+	}
+	if hasShared(ByName("ocean")) {
+		t.Error("ocean must be pure streaming (the IP-harm case)")
+	}
+	if !hasHashed(ByName("bfs")) {
+		t.Error("bfs must carry hash-scrambled loads")
+	}
+	for _, n := range []string{"conv", "monte", "mersenne", "pns", "black"} {
+		s := ByName(n)
+		taps := 0
+		for i := range s.Program.Instrs {
+			in := &s.Program.Instrs[i]
+			if in.Op == kernel.OpLoad && in.Mem.Array == 0 {
+				taps++
+			}
+		}
+		if taps < 2 {
+			t.Errorf("%s: expected a sliding-window tap structure, found %d taps", n, taps)
+		}
+	}
+}
