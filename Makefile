@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build test vet race bench
+
+# The full gate used before committing: vet, build, race-enabled tests.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

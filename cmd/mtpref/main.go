@@ -8,42 +8,110 @@
 //	mtpref run <id> [...]       # run selected experiments
 //	mtpref all                  # run everything
 //
-// Flags:
+// Flags (accepted before or after the subcommand and ids):
 //
-//	-waves N    scale benchmarks to ~N occupancy waves per core (default 2)
-//	-full       run sensitivity sweeps over the full suite, not the subset
-//	-csv DIR    additionally write each table as <DIR>/<exp>-<n>.csv
+//	-waves N        scale benchmarks to ~N occupancy waves per core (default 2)
+//	-full           run sensitivity sweeps over the full suite, not the subset
+//	-csv DIR        additionally write each table as <DIR>/<exp>-<n>.csv
+//	-metrics FILE   write per-epoch time series as JSONL (one line per run per epoch)
+//	-trace FILE     write a Chrome trace-event JSON (load in Perfetto / chrome://tracing)
+//	-sample N       epoch length in cycles for -metrics sampling (default 10000)
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"mtprefetch/internal/harness"
+	"mtprefetch/internal/obs"
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: mtpref [-waves N] [-full] [-csv DIR] {list | run <id>... | all}\n")
+	fmt.Fprintf(os.Stderr, "usage: mtpref [-waves N] [-full] [-csv DIR] [-metrics FILE] [-trace FILE] [-sample N] {list | run <id>... | all}\n")
 	os.Exit(2)
+}
+
+func fatal(args ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"mtpref:"}, args...)...)
+	os.Exit(1)
+}
+
+// parseIntermixed handles flags appearing after positional arguments
+// (`mtpref run fig12 -sample 1000 -metrics m.jsonl`): the standard flag
+// package stops at the first non-flag, so re-parse the remainder after
+// collecting each positional.
+func parseIntermixed() []string {
+	flag.Parse()
+	var pos []string
+	args := flag.Args()
+	for len(args) > 0 {
+		pos = append(pos, args[0])
+		flag.CommandLine.Parse(args[1:]) // ExitOnError: exits on bad flags
+		args = flag.CommandLine.Args()
+	}
+	return pos
+}
+
+// outFile wraps a created file in a buffered writer; nil path gives nil
+// writer (disabling that output).
+type outFile struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+func newOutFile(path string) (*outFile, io.Writer) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	o := &outFile{f: f, bw: bufio.NewWriter(f)}
+	return o, o.bw
+}
+
+func (o *outFile) close() {
+	if o == nil {
+		return
+	}
+	if err := o.bw.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := o.f.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func main() {
 	waves := flag.Int("waves", 2, "occupancy waves per core when scaling benchmarks")
 	full := flag.Bool("full", false, "run sensitivity sweeps on the full suite")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files into")
+	metricsPath := flag.String("metrics", "", "JSONL file for per-epoch metric samples")
+	tracePath := flag.String("trace", "", "Chrome trace-event JSON file")
+	sample := flag.Uint64("sample", 10_000, "epoch length in cycles for -metrics sampling")
 	flag.Usage = usage
-	flag.Parse()
-	args := flag.Args()
+	args := parseIntermixed()
 	if len(args) == 0 {
 		usage()
 	}
 
 	subset := !*full
 	cfg := harness.Config{Waves: *waves, Subset: &subset}
+
+	mf, mw := newOutFile(*metricsPath)
+	tf, tw := newOutFile(*tracePath)
+	sink, err := obs.NewSink(mw, tw, obs.Config{SampleEvery: *sample})
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Obs = sink
 
 	switch args[0] {
 	case "list":
@@ -52,7 +120,9 @@ func main() {
 		}
 	case "all":
 		for _, e := range harness.Experiments() {
-			runOne(&e, cfg, *csvDir)
+			if err := runOne(&e, cfg, *csvDir); err != nil {
+				fatal(err)
+			}
 		}
 	case "run":
 		if len(args) < 2 {
@@ -61,22 +131,28 @@ func main() {
 		for _, id := range args[1:] {
 			e := harness.ByID(id)
 			if e == nil {
-				fmt.Fprintf(os.Stderr, "mtpref: unknown experiment %q (try 'mtpref list')\n", id)
-				os.Exit(1)
+				fatal(fmt.Sprintf("unknown experiment %q (try 'mtpref list')", id))
 			}
-			runOne(e, cfg, *csvDir)
+			if err := runOne(e, cfg, *csvDir); err != nil {
+				fatal(err)
+			}
 		}
 	default:
 		usage()
 	}
+
+	if err := sink.Close(); err != nil {
+		fatal(err)
+	}
+	mf.close()
+	tf.close()
 }
 
-func runOne(e *harness.Experiment, cfg harness.Config, csvDir string) {
+func runOne(e *harness.Experiment, cfg harness.Config, csvDir string) error {
 	start := time.Now()
 	tables, err := e.Run(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mtpref: %s: %v\n", e.ID, err)
-		os.Exit(1)
+		return fmt.Errorf("%s: %w", e.ID, err)
 	}
 	fmt.Printf("== %s (%s) ==\n", e.ID, e.PaperRef)
 	for i, t := range tables {
@@ -85,8 +161,7 @@ func runOne(e *harness.Experiment, cfg harness.Config, csvDir string) {
 			continue
 		}
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "mtpref:", err)
-			os.Exit(1)
+			return err
 		}
 		name := e.ID
 		if len(tables) > 1 {
@@ -95,9 +170,9 @@ func runOne(e *harness.Experiment, cfg harness.Config, csvDir string) {
 		path := filepath.Join(csvDir, name+".csv")
 		content := "# " + strings.ReplaceAll(t.Title(), "\n", " ") + "\n" + t.CSV()
 		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "mtpref:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	fmt.Printf("[%s completed in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	return nil
 }

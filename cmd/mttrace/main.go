@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"mtprefetch/internal/obs"
 	"mtprefetch/internal/prefetch"
 	"mtprefetch/internal/stats"
 	"mtprefetch/internal/trace"
@@ -157,9 +158,25 @@ func cmdReplay(args []string) {
 	kernelFile := fs.String("kernel", "", "custom kernel file (overrides -bench)")
 	order := fs.String("order", "interleaved", "event order: warp-major|interleaved")
 	scale := fs.Int("scale", 16, "grid scale divisor")
+	traceOut := fs.String("trace", "", "Chrome trace-event JSON file (per-warp demand/prefetch tracks)")
 	fs.Parse(args)
 	spec := resolveSpec(*bench, *kernelFile, *scale)
 	evs := trace.Generate(spec, parseOrder(*order), spec.ActiveWarpsPerCore(), 64)
+
+	var tw *obs.TraceWriter
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mttrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tw, err = obs.NewTraceWriter(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mttrace:", err)
+			os.Exit(1)
+		}
+	}
 
 	prefetchers := []struct {
 		name string
@@ -182,12 +199,28 @@ func cmdReplay(args []string) {
 		fmt.Sprintf("offline replay: %s (%s order, %d events)", spec.Name, *order,
 			len(evs)),
 		"prefetcher", "coverage", "accuracy", "generated")
-	for _, p := range prefetchers {
-		res := trace.Replay(evs, p.make(), 16*1024, 8, 64)
+	for i, p := range prefetchers {
+		var tr *obs.Tracer
+		if tw != nil {
+			tr = obs.NewTracer(obs.DefaultTraceCapacity)
+		}
+		res := trace.ReplayObserved(evs, p.make(), 16*1024, 8, 64, tr)
+		if tw != nil {
+			if err := tw.AddRun(i, p.name, "warp", tr); err != nil {
+				fmt.Fprintln(os.Stderr, "mttrace:", err)
+				os.Exit(1)
+			}
+		}
 		t.AddRow(p.name,
 			fmt.Sprintf("%.3f", res.Coverage()),
 			fmt.Sprintf("%.3f", res.Accuracy()),
 			fmt.Sprint(res.PrefetchesGenerated))
+	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mttrace:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println(t)
 }

@@ -8,8 +8,13 @@
 // without ever serving a demand.
 package cache
 
-// Stats are the cache's lifetime counters.
+import "mtprefetch/internal/obs"
+
+// Stats are the cache's lifetime counters. Accesses == Hits + Misses by
+// construction; the invariant is asserted by the cross-component
+// consistency tests.
 type Stats struct {
+	Accesses       uint64 // demand lookups
 	Hits           uint64 // demand lookups that hit
 	Misses         uint64 // demand lookups that missed
 	Fills          uint64 // blocks inserted
@@ -65,6 +70,23 @@ func (c *Cache) Sets() int { return c.sets }
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// Register wires the cache's counters into the observability registry
+// under l.Component-prefixed names (e.g. "pfcache.hits"), so the same
+// type can serve as a per-core prefetch cache or a shared slice without
+// metric-name collisions.
+func (c *Cache) Register(r *obs.Registry, l obs.Labels) {
+	n := l.Component
+	st := &c.stats
+	r.Counter(n+".accesses", l, func() uint64 { return st.Accesses })
+	r.Counter(n+".hits", l, func() uint64 { return st.Hits })
+	r.Counter(n+".misses", l, func() uint64 { return st.Misses })
+	r.Counter(n+".fills", l, func() uint64 { return st.Fills })
+	r.Counter(n+".evictions", l, func() uint64 { return st.Evictions })
+	r.Counter(n+".early_evictions", l, func() uint64 { return st.EarlyEvictions })
+	r.Counter(n+".first_uses", l, func() uint64 { return st.FirstUses })
+	r.Gauge(n+".occupancy", l, func() float64 { return float64(c.occupied) })
+}
+
 func (c *Cache) set(addr uint64) []line {
 	blk := addr >> c.blockBits
 	var idx int
@@ -80,6 +102,7 @@ func (c *Cache) set(addr uint64) []line {
 // true is returned. The first use of a prefetched block increments
 // FirstUses (Eq. 5 denominator, "useful prefetches").
 func (c *Cache) Lookup(addr uint64) bool {
+	c.stats.Accesses++
 	if c.sets == 0 {
 		c.stats.Misses++
 		return false

@@ -1,0 +1,52 @@
+package core
+
+import "mtprefetch/internal/obs"
+
+// DefaultSeries defines the epoch time series sampled by the observability
+// layer (Options.Obs with a SampleEvery period). Each series is derived
+// from registry counters summed machine-wide, so per-epoch values are
+// deltas over the epoch, not cumulative averages:
+//
+//	ipc                  warp-instructions retired per cycle (whole machine)
+//	mpki                 demand transactions that missed the prefetch cache,
+//	                     per 1000 program instructions
+//	prefetch_accuracy    first uses per issued prefetch (Fig. 2 metric)
+//	prefetch_coverage    demand transactions served by the prefetch cache
+//	prefetch_late_fraction  issued prefetches a demand merged into (timeliness)
+//	merge_ratio          intra-core MRQ merges per arrival (Eq. 6)
+//	early_eviction_rate  early evictions per useful prefetch (Eq. 5)
+//	throttle_degree      mean throttle degree across cores (0 when disabled)
+//	dram_row_hit_rate    row-buffer hits per DRAM access
+//	mshr_occupancy       outstanding MRQ entries, summed across cores
+func DefaultSeries() []obs.SeriesDef {
+	return []obs.SeriesDef{
+		{Name: "ipc", Kind: obs.SeriesPerCycle,
+			Num: []string{"smcore.prog_instructions"}},
+		{Name: "mpki", Kind: obs.SeriesRatio, Scale: 1000,
+			Num: []string{"smcore.demand_transactions"},
+			Sub: []string{"smcore.pfcache_hit_transactions"},
+			Den: []string{"smcore.prog_instructions"}},
+		{Name: "prefetch_accuracy", Kind: obs.SeriesRatio,
+			Num: []string{"pfcache.first_uses"},
+			Den: []string{"smcore.prefetches_issued"}},
+		{Name: "prefetch_coverage", Kind: obs.SeriesRatio,
+			Num: []string{"smcore.pfcache_hit_transactions"},
+			Den: []string{"smcore.demand_transactions"}},
+		{Name: "prefetch_late_fraction", Kind: obs.SeriesRatio,
+			Num: []string{"smcore.late_prefetches"},
+			Den: []string{"smcore.prefetches_issued"}},
+		{Name: "merge_ratio", Kind: obs.SeriesRatio,
+			Num: []string{"mrq.merges"},
+			Den: []string{"mrq.demands", "mrq.prefetches", "mrq.writebacks", "mrq.merges"}},
+		{Name: "early_eviction_rate", Kind: obs.SeriesRatio,
+			Num: []string{"pfcache.early_evictions"},
+			Den: []string{"pfcache.first_uses"}},
+		{Name: "throttle_degree", Kind: obs.SeriesGaugeMean,
+			Num: []string{"throttle.degree"}},
+		{Name: "dram_row_hit_rate", Kind: obs.SeriesRatio,
+			Num: []string{"dram.row_hits"},
+			Den: []string{"dram.row_hits", "dram.row_misses", "dram.row_closed"}},
+		{Name: "mshr_occupancy", Kind: obs.SeriesGaugeSum,
+			Num: []string{"mrq.outstanding"}},
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mtprefetch/internal/config"
+	"mtprefetch/internal/obs"
+	"mtprefetch/internal/prefetch"
+	"mtprefetch/internal/swpref"
+)
+
+// mustSim builds and runs a simulator, returning both the result and the
+// simulator so tests can inspect the metrics registry.
+func mustSim(t *testing.T, o Options) (*Simulator, *Result) {
+	t.Helper()
+	s, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, r
+}
+
+// TestCounterConsistency runs several machine configurations and checks the
+// cross-component invariants that the registry makes checkable: cache
+// lookups partition into hits and misses, MRQ merges never exceed
+// arrivals, and the aggregated Result matches the registry it was derived
+// from.
+func TestCounterConsistency(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"baseline", Options{Workload: tiny(t, "monte")}},
+		{"mtswp+throttle", Options{
+			Workload: tiny(t, "stream"),
+			Software: swpref.MTSWP,
+			Throttle: true,
+		}},
+		{"mthwp", Options{
+			Workload: tiny(t, "mersenne"),
+			Hardware: func() prefetch.Prefetcher {
+				return prefetch.NewMTHWP(prefetch.MTHWPOptions{EnableGS: true, EnableIP: true})
+			},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, r := mustSim(t, tc.opts)
+			reg := s.Registry()
+
+			for _, comp := range []string{"pfcache"} {
+				acc := reg.Sum(comp + ".accesses")
+				hits := reg.Sum(comp + ".hits")
+				misses := reg.Sum(comp + ".misses")
+				if hits+misses != acc {
+					t.Errorf("%s: hits %d + misses %d != accesses %d", comp, hits, misses, acc)
+				}
+			}
+
+			merges := reg.Sum("mrq.merges")
+			arrivals := reg.Sum("mrq.demands") + reg.Sum("mrq.prefetches") +
+				reg.Sum("mrq.writebacks") + merges
+			if merges > arrivals {
+				t.Errorf("mrq merges %d exceed arrivals %d", merges, arrivals)
+			}
+
+			checks := []struct {
+				field string
+				got   uint64
+				want  uint64
+			}{
+				{"ProgInstructions", r.ProgInstructions, reg.Sum("smcore.prog_instructions")},
+				{"DemandTransactions", r.DemandTransactions, reg.Sum("smcore.demand_transactions")},
+				{"PFCacheHits", r.PFCacheHits, reg.Sum("smcore.pfcache_hit_transactions")},
+				{"PrefetchesIssued", r.PrefetchesIssued, reg.Sum("smcore.prefetches_issued")},
+				{"UsefulPrefetches", r.UsefulPrefetches, reg.Sum("pfcache.first_uses")},
+				{"EarlyEvictions", r.EarlyEvictions, reg.Sum("pfcache.early_evictions")},
+				{"ThrottlePeriods", r.ThrottlePeriods, reg.Sum("throttle.periods")},
+			}
+			for _, c := range checks {
+				if c.got != c.want {
+					t.Errorf("Result.%s = %d, registry says %d", c.field, c.got, c.want)
+				}
+			}
+
+			// The useful-prefetch count can never exceed what was issued
+			// plus what merged into demand misses.
+			if issued := r.PrefetchesIssued; r.UsefulPrefetches > issued && issued > 0 {
+				t.Errorf("useful prefetches %d exceed issued %d", r.UsefulPrefetches, issued)
+			}
+		})
+	}
+}
+
+// TestRegistryAggregationMatchesResult pins the refactor: collect() reads
+// the registry, so an independently recomputed sum must agree exactly.
+func TestRegistryAggregationMatchesResult(t *testing.T) {
+	s, r := mustSim(t, Options{Workload: tiny(t, "monte"), Software: swpref.MTSWP})
+	var manual uint64
+	s.Registry().Each(func(in *obs.Instrument) {
+		if in.Name == "smcore.demand_transactions" {
+			manual += uint64(in.Value())
+		}
+	})
+	if manual != r.DemandTransactions {
+		t.Errorf("per-instrument walk gives %d demand transactions, Result has %d",
+			manual, r.DemandTransactions)
+	}
+}
+
+// throttleRun executes a prefetch-heavy workload with a short throttling
+// period and a fine sampling epoch, returning the sampled throttle-degree
+// series.
+func throttleRun(t *testing.T, throttle bool) []float64 {
+	t.Helper()
+	cfg := config.Baseline()
+	cfg.ThrottlePeriod = 1000
+	o := obs.New(obs.Config{SampleEvery: 500})
+	spec := tiny(t, "cfd")
+	_, _ = mustSim(t, Options{
+		Config:   cfg,
+		Workload: spec,
+		Software: swpref.MTSWP,
+		Throttle: throttle,
+		Obs:      o,
+	})
+	return o.Sampler.Series("throttle_degree")
+}
+
+// TestThrottleDegreeSeries asserts the epoch sampler observes the throttle
+// engine actually moving on a workload whose prefetches are habitually
+// late (cfd, Fig. 15), and reads a flat zero when throttling is disabled.
+func TestThrottleDegreeSeries(t *testing.T) {
+	on := throttleRun(t, true)
+	if len(on) < 2 {
+		t.Fatalf("expected several epochs, got %d", len(on))
+	}
+	constant := true
+	for _, v := range on[1:] {
+		if v != on[0] {
+			constant = false
+			break
+		}
+	}
+	if constant {
+		t.Errorf("throttle-degree series is constant at %v over %d epochs; "+
+			"expected the engine to adapt", on[0], len(on))
+	}
+
+	off := throttleRun(t, false)
+	if len(off) < 1 {
+		t.Fatal("no epochs sampled")
+	}
+	for i, v := range off {
+		if v != 0 {
+			t.Fatalf("epoch %d: throttle degree %v with throttling disabled", i, v)
+		}
+	}
+}
+
+// TestSamplerJSONLFromSim smoke-tests the full path: simulate, export, and
+// check every line mentions the series the analysis scripts key on.
+func TestSamplerJSONLFromSim(t *testing.T) {
+	o := obs.New(obs.Config{SampleEvery: 1000})
+	_, _ = mustSim(t, Options{Workload: tiny(t, "monte"), Software: swpref.MTSWP, Obs: o})
+	var sb strings.Builder
+	if err := o.Sampler.WriteJSONL(&sb, map[string]string{"run": "test"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if out == "" {
+		t.Fatal("no JSONL output")
+	}
+	for _, key := range []string{"\"ipc\"", "\"mpki\"", "\"merge_ratio\"", "\"throttle_degree\""} {
+		if !strings.Contains(out, key) {
+			t.Errorf("JSONL output missing %s", key)
+		}
+	}
+}
+
+// TestResultPercentiles checks the demand-latency distribution fields are
+// ordered and bracket the average.
+func TestResultPercentiles(t *testing.T) {
+	_, r := mustSim(t, Options{Workload: tiny(t, "monte")})
+	if r.P50DemandLatency <= 0 || r.P95DemandLatency < r.P50DemandLatency ||
+		r.P99DemandLatency < r.P95DemandLatency {
+		t.Errorf("percentiles not ordered: p50=%v p95=%v p99=%v",
+			r.P50DemandLatency, r.P95DemandLatency, r.P99DemandLatency)
+	}
+	if float64(r.MaxDemandLatency) < r.P99DemandLatency {
+		t.Errorf("p99 %v exceeds max %d", r.P99DemandLatency, r.MaxDemandLatency)
+	}
+}

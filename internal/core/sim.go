@@ -21,12 +21,11 @@ import (
 	"errors"
 	"fmt"
 
-	"mtprefetch/internal/cache"
 	"mtprefetch/internal/config"
 	"mtprefetch/internal/dram"
 	"mtprefetch/internal/memreq"
-	"mtprefetch/internal/mrq"
 	"mtprefetch/internal/noc"
+	"mtprefetch/internal/obs"
 	"mtprefetch/internal/prefetch"
 	"mtprefetch/internal/smcore"
 	"mtprefetch/internal/stats"
@@ -63,6 +62,10 @@ type Options struct {
 	// MaxCycles caps the simulation (default 500M) so configuration bugs
 	// fail loudly instead of hanging.
 	MaxCycles uint64
+	// Obs attaches an observability bundle (epoch sampler and/or event
+	// tracer; see obs.New). Nil runs with just the internal metrics
+	// registry, which costs nothing on the simulation's hot path.
+	Obs *obs.Observer
 }
 
 // Result is the measurement bundle of one simulation.
@@ -80,6 +83,9 @@ type Result struct {
 	PFCacheHits        uint64  // demand transactions served by the prefetch cache
 	AvgDemandLatency   float64 // cycles, for demands that went to memory
 	MaxDemandLatency   uint64
+	P50DemandLatency   float64 // distribution percentiles (log2-bucketed)
+	P95DemandLatency   float64
+	P99DemandLatency   float64
 
 	// Prefetch behaviour.
 	PrefetchesGenerated uint64
@@ -145,8 +151,15 @@ type Simulator struct {
 	pending []*memreq.Request // DRAM backpressure buffer
 	rrCore  int
 
+	reg     *obs.Registry // always non-nil; end-of-run aggregation reads it
+	sampler *obs.Sampler  // nil unless Options.Obs enabled sampling
+
 	cycle uint64
 }
+
+// Registry exposes the simulator's metrics registry, for inspection and
+// consistency tests.
+func (s *Simulator) Registry() *obs.Registry { return s.reg }
 
 // New builds a simulator; see Options.
 func New(o Options) (*Simulator, error) {
@@ -225,6 +238,26 @@ func New(o Options) (*Simulator, error) {
 		}
 		s.cores = append(s.cores, c)
 	}
+
+	// Observability: every component registers its counters; end-of-run
+	// aggregation (collect) reads the registry, so the registry always
+	// exists even without Options.Obs. The sampler and tracer stay nil
+	// unless requested — their call sites are nil-guarded fast paths.
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if o.Obs != nil {
+		if o.Obs.Registry != nil {
+			reg = o.Obs.Registry
+		}
+		s.sampler = o.Obs.Sampler
+		tracer = o.Obs.Tracer
+	}
+	s.reg = reg
+	for _, c := range s.cores {
+		c.Observe(reg, tracer)
+	}
+	s.mem.Register(reg, obs.Labels{Core: obs.CoreGlobal, Component: "dram"})
+	s.sampler.Define(DefaultSeries()...)
 	return s, nil
 }
 
@@ -272,7 +305,12 @@ func (s *Simulator) Run() (*Result, error) {
 		// 5. Cores inject MRQ traffic, round-robin, up to the NOC limit.
 		s.inject(cyc)
 
-		// 6. Termination.
+		// 6. Epoch sampling (one comparison per cycle when enabled).
+		if s.sampler != nil {
+			s.sampler.Tick(cyc)
+		}
+
+		// 7. Termination.
 		if cyc%64 == 0 && s.done() {
 			res := s.collect()
 			return res, nil
@@ -327,77 +365,58 @@ func (s *Simulator) done() bool {
 }
 
 func (s *Simulator) collect() *Result {
+	s.sampler.Finish(s.cycle)
+	reg := s.reg
 	r := &Result{Benchmark: s.spec.Name, Cycles: s.cycle}
-	var cs smcore.Stats
-	var cacheTotal cache.Stats
-	var mrqTotal mrq.Stats
-	var lat stats.Latency
-	var periods, noPref uint64
-	for _, c := range s.cores {
-		st := c.Stats()
-		cs.Instructions += st.Instructions
-		cs.ProgInstructions += st.ProgInstructions
-		cs.DemandTransactions += st.DemandTransactions
-		cs.PFCacheHitTransactions += st.PFCacheHitTransactions
-		cs.PrefetchesGenerated += st.PrefetchesGenerated
-		cs.PrefetchesIssued += st.PrefetchesIssued
-		cs.DroppedThrottle += st.DroppedThrottle
-		cs.DroppedByFilter += st.DroppedByFilter
-		cs.LatePrefetches += st.LatePrefetches
-		lat.Merge(st.DemandLatency)
-		pcs := c.PFCache.Stats()
-		cacheTotal.FirstUses += pcs.FirstUses
-		cacheTotal.EarlyEvictions += pcs.EarlyEvictions
-		ms := c.MRQ.Stats()
-		mrqTotal.Merges += ms.Merges
-		mrqTotal.Demands += ms.Demands
-		mrqTotal.Prefetches += ms.Prefetches
-		mrqTotal.Writebacks += ms.Writebacks
-		if c.Throt != nil {
-			periods += c.Throt.Periods()
-			noPref += c.Throt.NoPrefetchPeriods()
-		}
-		if mt, ok := c.HWP.(*prefetch.MTHWP); ok {
-			ms := mt.Stats()
-			r.MTHWP.Observations += ms.Observations
-			r.MTHWP.PWSAccesses += ms.PWSAccesses
-			r.MTHWP.PWSHits += ms.PWSHits
-			r.MTHWP.GSHits += ms.GSHits
-			r.MTHWP.IPHits += ms.IPHits
-			r.MTHWP.Promotions += ms.Promotions
-		}
-	}
-	r.ProgInstructions = cs.ProgInstructions
-	r.AllInstructions = cs.Instructions
-	r.CPI = stats.SafeDiv(float64(r.Cycles)*float64(s.cfg.NumCores), float64(cs.ProgInstructions))
-	r.DemandTransactions = cs.DemandTransactions
-	r.PFCacheHits = cs.PFCacheHitTransactions
+	r.ProgInstructions = reg.Sum("smcore.prog_instructions")
+	r.AllInstructions = reg.Sum("smcore.instructions")
+	r.CPI = stats.SafeDiv(float64(r.Cycles)*float64(s.cfg.NumCores), float64(r.ProgInstructions))
+	r.DemandTransactions = reg.Sum("smcore.demand_transactions")
+	r.PFCacheHits = reg.Sum("smcore.pfcache_hit_transactions")
+	lat := reg.MergedHistogram("smcore.demand_latency")
 	r.AvgDemandLatency = lat.Avg()
 	r.MaxDemandLatency = lat.Max
-	r.PrefetchesGenerated = cs.PrefetchesGenerated
-	r.PrefetchesIssued = cs.PrefetchesIssued
-	r.UsefulPrefetches = cacheTotal.FirstUses
-	r.LatePrefetches = cs.LatePrefetches
-	r.EarlyEvictions = cacheTotal.EarlyEvictions
-	r.DroppedByThrottle = cs.DroppedThrottle
-	r.DroppedByFilter = cs.DroppedByFilter
-	r.Accuracy = stats.Ratio(cacheTotal.FirstUses, cs.PrefetchesIssued)
+	r.P50DemandLatency = lat.Percentile(50)
+	r.P95DemandLatency = lat.Percentile(95)
+	r.P99DemandLatency = lat.Percentile(99)
+	r.PrefetchesGenerated = reg.Sum("smcore.prefetches_generated")
+	r.PrefetchesIssued = reg.Sum("smcore.prefetches_issued")
+	r.UsefulPrefetches = reg.Sum("pfcache.first_uses")
+	r.LatePrefetches = reg.Sum("smcore.late_prefetches")
+	r.EarlyEvictions = reg.Sum("pfcache.early_evictions")
+	r.DroppedByThrottle = reg.Sum("smcore.dropped_throttle")
+	r.DroppedByFilter = reg.Sum("smcore.dropped_filter")
+	r.Accuracy = stats.Ratio(r.UsefulPrefetches, r.PrefetchesIssued)
 	if r.Accuracy > 1 {
 		r.Accuracy = 1
 	}
-	r.Coverage = stats.Ratio(cs.PFCacheHitTransactions, cs.DemandTransactions)
-	r.LateFraction = stats.Ratio(cs.LatePrefetches, cs.PrefetchesIssued)
-	r.EarlyRate = stats.Ratio(cacheTotal.EarlyEvictions, cacheTotal.FirstUses)
-	r.MergeRatio = stats.Ratio(mrqTotal.Merges, mrqTotal.TotalArrivals())
+	r.Coverage = stats.Ratio(r.PFCacheHits, r.DemandTransactions)
+	r.LateFraction = stats.Ratio(r.LatePrefetches, r.PrefetchesIssued)
+	r.EarlyRate = stats.Ratio(r.EarlyEvictions, r.UsefulPrefetches)
+	merges := reg.Sum("mrq.merges")
+	arrivals := reg.Sum("mrq.demands") + reg.Sum("mrq.prefetches") +
+		reg.Sum("mrq.writebacks") + merges
+	r.MergeRatio = stats.Ratio(merges, arrivals)
 
-	ds := s.mem.Stats()
-	r.InterCoreMerges = ds.InterCoreMerges
-	r.MemTransactions = ds.Demands + ds.Prefetches + ds.Writebacks
+	r.InterCoreMerges = reg.Sum("dram.inter_core_merges")
+	r.MemTransactions = reg.Sum("dram.demands") + reg.Sum("dram.prefetches") +
+		reg.Sum("dram.writebacks")
 	r.BytesTransferred = r.MemTransactions * uint64(s.cfg.BlockBytes)
-	r.RowHitRate = stats.Ratio(ds.RowHits, ds.RowHits+ds.RowMisses+ds.RowClosed)
-	r.L2Hits, r.L2Misses = ds.L2Hits, ds.L2Misses
-	r.ThrottlePeriods = periods
-	r.NoPrefetchPeriods = noPref
+	rowHits := reg.Sum("dram.row_hits")
+	r.RowHitRate = stats.Ratio(rowHits,
+		rowHits+reg.Sum("dram.row_misses")+reg.Sum("dram.row_closed"))
+	r.L2Hits = reg.Sum("dram.l2_hits")
+	r.L2Misses = reg.Sum("dram.l2_misses")
+	r.ThrottlePeriods = reg.Sum("throttle.periods")
+	r.NoPrefetchPeriods = reg.Sum("throttle.no_prefetch_periods")
+	r.MTHWP = prefetch.MTHWPStats{
+		Observations: reg.Sum("mthwp.observations"),
+		PWSAccesses:  reg.Sum("mthwp.pws_accesses"),
+		PWSHits:      reg.Sum("mthwp.pws_hits"),
+		GSHits:       reg.Sum("mthwp.gs_hits"),
+		IPHits:       reg.Sum("mthwp.ip_hits"),
+		Promotions:   reg.Sum("mthwp.promotions"),
+	}
 	return r
 }
 

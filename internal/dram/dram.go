@@ -12,6 +12,7 @@ package dram
 import (
 	"mtprefetch/internal/cache"
 	"mtprefetch/internal/memreq"
+	"mtprefetch/internal/obs"
 )
 
 // Config is the memory-system geometry with timings already converted to
@@ -108,6 +109,30 @@ func New(cfg Config) *Memory {
 
 // Stats returns a snapshot of the counters.
 func (m *Memory) Stats() Stats { return m.stats }
+
+// Register wires the memory system's counters into the registry. The
+// DRAM system is machine-wide, so callers label it obs.CoreGlobal.
+func (m *Memory) Register(r *obs.Registry, l obs.Labels) {
+	st := &m.stats
+	r.Counter("dram.demands", l, func() uint64 { return st.Demands })
+	r.Counter("dram.prefetches", l, func() uint64 { return st.Prefetches })
+	r.Counter("dram.writebacks", l, func() uint64 { return st.Writebacks })
+	r.Counter("dram.row_hits", l, func() uint64 { return st.RowHits })
+	r.Counter("dram.row_misses", l, func() uint64 { return st.RowMisses })
+	r.Counter("dram.row_closed", l, func() uint64 { return st.RowClosed })
+	r.Counter("dram.l2_hits", l, func() uint64 { return st.L2Hits })
+	r.Counter("dram.l2_misses", l, func() uint64 { return st.L2Misses })
+	r.Counter("dram.inter_core_merges", l, func() uint64 { return st.InterCoreMerges })
+	r.Counter("dram.rejects", l, func() uint64 { return st.Rejects })
+	r.Counter("dram.bus_busy", l, func() uint64 { return st.BusBusy })
+	r.Gauge("dram.queued", l, func() float64 {
+		n := 0
+		for _, ch := range m.chans {
+			n += len(ch.queue) + len(ch.inflight)
+		}
+		return float64(n)
+	})
+}
 
 // ChannelOf maps a block address to its channel (block-interleaved).
 func (m *Memory) ChannelOf(addr uint64) int {

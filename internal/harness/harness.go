@@ -10,6 +10,7 @@ import (
 
 	"mtprefetch/internal/config"
 	"mtprefetch/internal/core"
+	"mtprefetch/internal/obs"
 	"mtprefetch/internal/prefetch"
 	"mtprefetch/internal/stats"
 	"mtprefetch/internal/swpref"
@@ -30,6 +31,11 @@ type Config struct {
 	// a representative benchmark subset instead of the full suite
 	// (default true).
 	Subset *bool
+	// Obs, when non-nil, streams every simulation's epoch samples and
+	// trace events into the sink's shared output files (cmd/mtpref's
+	// -metrics/-trace/-sample flags). Memoised runs are recorded once,
+	// under the key of their first execution.
+	Obs *obs.Sink
 }
 
 func (c Config) waves() int {
@@ -117,8 +123,12 @@ func (r *runner) run(key string, o core.Options) (*core.Result, error) {
 	if res, ok := r.cache[key]; ok {
 		return res, nil
 	}
+	o.Obs = r.c.Obs.Observer()
 	res, err := core.Run(o)
 	if err != nil {
+		return nil, fmt.Errorf("%s: %w", key, err)
+	}
+	if err := r.c.Obs.Finish(key, o.Obs); err != nil {
 		return nil, fmt.Errorf("%s: %w", key, err)
 	}
 	r.cache[key] = res

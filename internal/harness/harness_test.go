@@ -154,10 +154,15 @@ func TestConfigDefaults(t *testing.T) {
 
 // TestAllExperimentsRun executes every registry entry at the smallest
 // scale, verifying each produces non-empty tables without error. This is
-// the expensive integration test; skip with -short.
+// the expensive integration test; skip with -short. It also skips under
+// the race detector (where it exceeds the default test timeout) — the
+// simulator's race coverage comes from the per-package suites.
 func TestAllExperimentsRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("full experiment sweep skipped under the race detector")
 	}
 	for _, e := range Experiments() {
 		e := e

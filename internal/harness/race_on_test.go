@@ -1,0 +1,7 @@
+//go:build race
+
+package harness
+
+// raceEnabled mirrors the race-detector build tag so the expensive
+// integration sweep can bound its runtime under `go test -race`.
+const raceEnabled = true

@@ -7,7 +7,10 @@
 // in-flight prefetch additionally marks that prefetch "late".
 package mrq
 
-import "mtprefetch/internal/memreq"
+import (
+	"mtprefetch/internal/memreq"
+	"mtprefetch/internal/obs"
+)
 
 // AddResult reports what happened to a request offered to the queue.
 type AddResult uint8
@@ -60,6 +63,20 @@ func New(capacity int) *Queue {
 
 // Stats returns a snapshot of the counters.
 func (q *Queue) Stats() Stats { return q.stats }
+
+// Register wires the queue's counters and its occupancy gauge (the MSHR
+// occupancy series of the epoch sampler) into the registry.
+func (q *Queue) Register(r *obs.Registry, l obs.Labels) {
+	st := &q.stats
+	r.Counter("mrq.demands", l, func() uint64 { return st.Demands })
+	r.Counter("mrq.prefetches", l, func() uint64 { return st.Prefetches })
+	r.Counter("mrq.writebacks", l, func() uint64 { return st.Writebacks })
+	r.Counter("mrq.merges", l, func() uint64 { return st.Merges })
+	r.Counter("mrq.demand_into_prefetch", l, func() uint64 { return st.DemandIntoPrefetch })
+	r.Counter("mrq.prefetch_merged", l, func() uint64 { return st.PrefetchMerged })
+	r.Counter("mrq.rejects", l, func() uint64 { return st.Rejects })
+	r.Gauge("mrq.outstanding", l, func() float64 { return float64(q.outstanding) })
+}
 
 // Outstanding reports occupied entries (queued or in flight).
 func (q *Queue) Outstanding() int { return q.outstanding }

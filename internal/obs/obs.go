@@ -1,0 +1,58 @@
+// Package obs is the simulator's cycle-level observability layer. It has
+// three cooperating pieces:
+//
+//   - a metrics Registry of named counters, gauges, and histograms,
+//     labelled by core and component. Components register closures over
+//     their existing Stats fields once at build time, so the hot
+//     simulation path is untouched — the registry only reads state when a
+//     sample or an end-of-run aggregation asks for it.
+//   - an epoch Sampler that snapshots derived time series (IPC, MPKI,
+//     prefetch accuracy/coverage, merge ratio, early-eviction rate,
+//     throttle degree, DRAM row-hit rate, MSHR occupancy, ...) every N
+//     cycles and exports them as JSONL.
+//   - a structured event Tracer: a fixed-capacity ring of simulation
+//     events (prefetch issued/dropped, throttle transitions, early
+//     evictions, stride promotions) exported as Chrome trace-event JSON
+//     loadable in Perfetto or chrome://tracing, one track per core.
+//
+// Everything is nil-safe: a nil *Registry, *Sampler, *Tracer, or *Sink
+// accepts every call and does nothing, so instrumentation sites never
+// need to branch and a disabled run pays only a nil check.
+package obs
+
+// Config selects which observability pieces a run gets.
+type Config struct {
+	// SampleEvery is the epoch length in cycles between time-series
+	// samples; 0 disables the sampler.
+	SampleEvery uint64
+	// TraceCapacity is the event ring size; 0 disables tracing.
+	// DefaultTraceCapacity is a reasonable value.
+	TraceCapacity int
+}
+
+// DefaultTraceCapacity bounds the trace ring at a size that holds the
+// interesting dynamics of a scaled-down run (~64k events) without
+// unbounded growth on long ones; the ring keeps the newest events.
+const DefaultTraceCapacity = 1 << 16
+
+// Observer bundles one simulation's observability state. The zero/nil
+// Observer is fully disabled.
+type Observer struct {
+	Registry *Registry
+	Sampler  *Sampler
+	Tracer   *Tracer
+}
+
+// New builds an Observer with a fresh Registry plus whatever cfg enables.
+// The Sampler's series definitions are added later by the simulator,
+// which knows the metric names it registered.
+func New(cfg Config) *Observer {
+	o := &Observer{Registry: NewRegistry()}
+	if cfg.SampleEvery > 0 {
+		o.Sampler = NewSampler(o.Registry, cfg.SampleEvery)
+	}
+	if cfg.TraceCapacity > 0 {
+		o.Tracer = NewTracer(cfg.TraceCapacity)
+	}
+	return o
+}

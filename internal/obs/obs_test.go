@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mtprefetch/internal/stats"
+)
+
+func TestRegistryAggregation(t *testing.T) {
+	r := NewRegistry()
+	c0, c1 := uint64(10), uint64(32)
+	r.Counter("cache.hits", Labels{Core: 0, Component: "cache"}, func() uint64 { return c0 })
+	r.Counter("cache.hits", Labels{Core: 1, Component: "cache"}, func() uint64 { return c1 })
+	if got := r.Sum("cache.hits"); got != 42 {
+		t.Errorf("Sum = %d, want 42", got)
+	}
+	c1 = 40
+	if got := r.Sum("cache.hits"); got != 50 {
+		t.Errorf("Sum after update = %d, want 50 (closures must read live state)", got)
+	}
+	if got := r.Sum("cache.misses"); got != 0 {
+		t.Errorf("unknown counter Sum = %d, want 0", got)
+	}
+
+	g := 3.0
+	r.Gauge("throttle.degree", Labels{Core: 0, Component: "throttle"}, func() float64 { return g })
+	r.Gauge("throttle.degree", Labels{Core: 1, Component: "throttle"}, func() float64 { return 1 })
+	if got := r.GaugeSum("throttle.degree"); got != 4 {
+		t.Errorf("GaugeSum = %v, want 4", got)
+	}
+	if got := r.GaugeMean("throttle.degree"); got != 2 {
+		t.Errorf("GaugeMean = %v, want 2", got)
+	}
+
+	var h0, h1 stats.Histogram
+	h0.Add(10)
+	h1.Add(1000)
+	r.Histogram("lat", Labels{Core: 0}, func() stats.Histogram { return h0 })
+	r.Histogram("lat", Labels{Core: 1}, func() stats.Histogram { return h1 })
+	m := r.MergedHistogram("lat")
+	if m.Count != 2 || m.Max != 1000 || m.Sum != 1010 {
+		t.Errorf("merged histogram = %+v", m)
+	}
+
+	names := r.Names()
+	if len(names) != 3 {
+		t.Errorf("Names = %v, want 3 entries", names)
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x", Labels{}, func() uint64 { return 1 })
+	r.Gauge("y", Labels{}, func() float64 { return 1 })
+	if r.Sum("x") != 0 || r.GaugeMean("y") != 0 || r.Names() != nil {
+		t.Error("nil registry must be inert")
+	}
+}
+
+func TestSamplerEpochDeltas(t *testing.T) {
+	r := NewRegistry()
+	var instrs, cycles uint64
+	r.Counter("instrs", Labels{}, func() uint64 { return instrs })
+	s := NewSampler(r, 100)
+	s.Define(
+		SeriesDef{Name: "ipc", Kind: SeriesPerCycle, Num: []string{"instrs"}},
+		SeriesDef{Name: "ratio", Kind: SeriesRatio, Num: []string{"instrs"}, Den: []string{"instrs"}},
+	)
+	for cycles = 0; cycles < 250; cycles++ {
+		instrs += 2 // perfectly steady 2 IPC
+		s.Tick(cycles)
+	}
+	s.Finish(cycles)
+	pts := s.Points()
+	if len(pts) != 3 {
+		t.Fatalf("points = %d, want 3 (two epochs + final partial)", len(pts))
+	}
+	for i, p := range pts {
+		if p.Values["ipc"] < 1.9 || p.Values["ipc"] > 2.1 {
+			t.Errorf("point %d ipc = %v, want ~2", i, p.Values["ipc"])
+		}
+		if p.Values["ratio"] != 1 {
+			t.Errorf("point %d self-ratio = %v, want 1", i, p.Values["ratio"])
+		}
+	}
+	if got := s.Series("ipc"); len(got) != 3 {
+		t.Errorf("Series length = %d, want 3", len(got))
+	}
+}
+
+func TestSamplerJSONL(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(0)
+	r.Counter("n", Labels{}, func() uint64 { return n })
+	s := NewSampler(r, 10)
+	s.Define(SeriesDef{Name: "rate", Kind: SeriesPerCycle, Num: []string{"n"}})
+	n = 20
+	s.Tick(10)
+	n = 30
+	s.Tick(20)
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf, map[string]string{"run": "unit"}); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", lines, err)
+		}
+		if obj["run"] != "unit" {
+			t.Errorf("line %d missing run meta: %v", lines, obj)
+		}
+		if _, ok := obj["cycle"]; !ok {
+			t.Errorf("line %d missing cycle", lines)
+		}
+		if _, ok := obj["rate"]; !ok {
+			t.Errorf("line %d missing series value", lines)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Errorf("JSONL lines = %d, want 2", lines)
+	}
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(4)
+	for i := uint64(0); i < 10; i++ {
+		tr.Emit(EvPrefetchIssued, i, int(i%2), i*64, 7)
+	}
+	if tr.Count() != 4 {
+		t.Errorf("ring holds %d events, want 4", tr.Count())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Cycle < evs[i-1].Cycle {
+			t.Fatalf("events out of order: %v", evs)
+		}
+	}
+	if evs[0].Cycle != 6 || evs[3].Cycle != 9 {
+		t.Errorf("ring kept cycles %d..%d, want 6..9", evs[0].Cycle, evs[3].Cycle)
+	}
+	var nilTr *Tracer
+	nilTr.Emit(EvEarlyEviction, 0, 0, 0, 0) // must not panic
+	if nilTr.Count() != 0 || nilTr.Events() != nil {
+		t.Error("nil tracer must be inert")
+	}
+}
+
+func TestChromeTraceValidJSON(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Emit(EvPrefetchIssued, 100, 0, 0x1000, 3)
+	tr.Emit(EvThrottleDegree, 200, 1, 4, 2)
+	tr.Emit(EvEarlyEviction, 300, 0, 0x2000, 0)
+	tr.Emit(EvStridePromotion, 400, 1, 5, 128)
+
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.AddRun(0, "unit-run", "core", tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not a valid JSON array: %v\n%s", err, buf.String())
+	}
+	// 1 process_name + 2 thread_name + 4 events.
+	if len(events) != 7 {
+		t.Fatalf("trace has %d objects, want 7", len(events))
+	}
+	byPh := map[string]int{}
+	for _, e := range events {
+		ph, _ := e["ph"].(string)
+		byPh[ph]++
+		if _, ok := e["pid"]; !ok {
+			t.Errorf("event missing pid: %v", e)
+		}
+	}
+	if byPh["M"] != 3 {
+		t.Errorf("metadata events = %d, want 3", byPh["M"])
+	}
+	if byPh["C"] != 1 {
+		t.Errorf("counter events = %d, want 1", byPh["C"])
+	}
+	if byPh["i"] != 3 {
+		t.Errorf("instant events = %d, want 3", byPh["i"])
+	}
+	if !strings.Contains(buf.String(), "unit-run") {
+		t.Error("process name missing from trace")
+	}
+}
+
+func TestSinkDisabled(t *testing.T) {
+	var s *Sink
+	if s.Observer() != nil {
+		t.Error("nil sink must hand out nil observers")
+	}
+	if err := s.Finish("k", nil); err != nil {
+		t.Error(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Error(err)
+	}
+	s2, err := NewSink(nil, nil, Config{SampleEvery: 100})
+	if err != nil || s2 != nil {
+		t.Errorf("NewSink(nil, nil) = %v, %v; want nil sink", s2, err)
+	}
+}
+
+func TestSinkMultiRun(t *testing.T) {
+	var mbuf, tbuf bytes.Buffer
+	s, err := NewSink(&mbuf, &tbuf, Config{SampleEvery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 2; run++ {
+		o := s.Observer()
+		if o == nil || o.Sampler == nil || o.Tracer == nil {
+			t.Fatal("enabled sink must build full observers")
+		}
+		n := uint64(0)
+		o.Registry.Counter("n", Labels{}, func() uint64 { return n })
+		o.Sampler.Define(SeriesDef{Name: "rate", Kind: SeriesPerCycle, Num: []string{"n"}})
+		n = 100
+		o.Sampler.Tick(50)
+		o.Tracer.Emit(EvPrefetchIssued, 10, 0, 0x40, 1)
+		if err := s.Finish("run"+string(rune('A'+run)), o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(mbuf.String(), "\n"); got != 2 {
+		t.Errorf("metrics lines = %d, want 2", got)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(tbuf.Bytes(), &events); err != nil {
+		t.Fatalf("combined trace invalid: %v", err)
+	}
+	pids := map[float64]bool{}
+	for _, e := range events {
+		pids[e["pid"].(float64)] = true
+	}
+	if len(pids) != 2 {
+		t.Errorf("trace pids = %v, want 2 distinct runs", pids)
+	}
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"sort"
+
+	"mtprefetch/internal/stats"
+)
+
+// Labels locate an instrument in the machine: which core it belongs to
+// (CoreGlobal for machine-wide components like the DRAM system) and which
+// component produced it.
+type Labels struct {
+	Core      int
+	Component string
+}
+
+// CoreGlobal is the Core label of machine-wide instruments.
+const CoreGlobal = -1
+
+// Kind distinguishes instrument flavours.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically non-decreasing uint64 (aggregated by
+	// summing across label sets).
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous float64 (aggregated by sum or mean).
+	KindGauge
+	// KindHistogram is a stats.Histogram snapshot (aggregated by merge).
+	KindHistogram
+)
+
+// Instrument is one registered metric source. The sampling closure reads
+// the owning component's live state, so registration costs nothing on the
+// simulation's hot path.
+type Instrument struct {
+	Name   string
+	Labels Labels
+	Kind   Kind
+
+	counter func() uint64
+	gauge   func() float64
+	hist    func() stats.Histogram
+}
+
+// Registry holds a simulation's instruments, indexed by name. It is not
+// safe for concurrent use; the simulator is single-threaded.
+type Registry struct {
+	instruments []Instrument
+	byName      map[string][]int
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string][]int)}
+}
+
+func (r *Registry) add(in Instrument) {
+	r.byName[in.Name] = append(r.byName[in.Name], len(r.instruments))
+	r.instruments = append(r.instruments, in)
+}
+
+// Counter registers a counter sampled by fn. Nil receivers and nil fn are
+// ignored, so components may register unconditionally.
+func (r *Registry) Counter(name string, l Labels, fn func() uint64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.add(Instrument{Name: name, Labels: l, Kind: KindCounter, counter: fn})
+}
+
+// Gauge registers an instantaneous value sampled by fn.
+func (r *Registry) Gauge(name string, l Labels, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.add(Instrument{Name: name, Labels: l, Kind: KindGauge, gauge: fn})
+}
+
+// Histogram registers a distribution sampled by fn.
+func (r *Registry) Histogram(name string, l Labels, fn func() stats.Histogram) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.add(Instrument{Name: name, Labels: l, Kind: KindHistogram, hist: fn})
+}
+
+// Sum aggregates a counter across all label sets. Unknown names sum to 0,
+// which keeps aggregation code free of existence checks for optional
+// components (throttle engine, MT-HWP tables).
+func (r *Registry) Sum(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	var total uint64
+	for _, i := range r.byName[name] {
+		if in := &r.instruments[i]; in.Kind == KindCounter {
+			total += in.counter()
+		}
+	}
+	return total
+}
+
+// GaugeSum aggregates a gauge across label sets by summing.
+func (r *Registry) GaugeSum(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	var total float64
+	for _, i := range r.byName[name] {
+		if in := &r.instruments[i]; in.Kind == KindGauge {
+			total += in.gauge()
+		}
+	}
+	return total
+}
+
+// GaugeMean aggregates a gauge across label sets by averaging; 0 when the
+// gauge is unregistered.
+func (r *Registry) GaugeMean(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	var total float64
+	n := 0
+	for _, i := range r.byName[name] {
+		if in := &r.instruments[i]; in.Kind == KindGauge {
+			total += in.gauge()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// MergedHistogram merges a histogram across all label sets.
+func (r *Registry) MergedHistogram(name string) stats.Histogram {
+	var h stats.Histogram
+	if r == nil {
+		return h
+	}
+	for _, i := range r.byName[name] {
+		if in := &r.instruments[i]; in.Kind == KindHistogram {
+			s := in.hist()
+			h.Merge(&s)
+		}
+	}
+	return h
+}
+
+// Names returns all registered instrument names, sorted, deduplicated.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Each visits every instrument, for exporters.
+func (r *Registry) Each(fn func(in *Instrument)) {
+	if r == nil {
+		return
+	}
+	for i := range r.instruments {
+		fn(&r.instruments[i])
+	}
+}
+
+// Value reads one instrument's current value as a float64 (histograms
+// report their mean).
+func (in *Instrument) Value() float64 {
+	switch in.Kind {
+	case KindCounter:
+		return float64(in.counter())
+	case KindGauge:
+		return in.gauge()
+	case KindHistogram:
+		h := in.hist()
+		return h.Avg()
+	}
+	return 0
+}

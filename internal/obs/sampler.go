@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SeriesKind selects how a series value is derived from the registry at
+// each epoch boundary.
+type SeriesKind uint8
+
+const (
+	// SeriesRatio is (Δsum(Num) - Δsum(Sub)) / Δsum(Den) * Scale over the
+	// epoch, 0 when the denominator did not move.
+	SeriesRatio SeriesKind = iota
+	// SeriesPerCycle is Δsum(Num) / Δcycles * Scale over the epoch.
+	SeriesPerCycle
+	// SeriesGaugeSum is the instantaneous sum of a gauge across cores.
+	SeriesGaugeSum
+	// SeriesGaugeMean is the instantaneous mean of a gauge across cores.
+	SeriesGaugeMean
+)
+
+// SeriesDef defines one derived time series over registry metrics. The
+// counter name lists are summed across all label sets before the delta is
+// taken, so a series is machine-wide by construction.
+type SeriesDef struct {
+	Name  string
+	Kind  SeriesKind
+	Num   []string // counter names (or the gauge name for gauge kinds)
+	Sub   []string // counter names subtracted from Num (SeriesRatio only)
+	Den   []string // denominator counter names (SeriesRatio only)
+	Scale float64  // multiplier; 0 means 1 (use 1000 for MPKI-style series)
+}
+
+func (d *SeriesDef) scale() float64 {
+	if d.Scale == 0 {
+		return 1
+	}
+	return d.Scale
+}
+
+// Point is one epoch sample: the cycle it closed at and each series'
+// value for the epoch.
+type Point struct {
+	Cycle  uint64
+	Values map[string]float64
+}
+
+// Sampler snapshots derived series every epoch. Create with NewSampler,
+// add series with Define, then call Tick from the simulation loop (cheap:
+// one comparison per cycle) and Finish once at end of run.
+type Sampler struct {
+	reg   *Registry
+	every uint64
+	next  uint64
+	defs  []SeriesDef
+
+	prev      map[string]uint64 // summed counters at the last epoch close
+	prevCycle uint64
+	points    []Point
+	counters  map[string]bool // counter names needed by the defs
+}
+
+// NewSampler builds a sampler over reg with the given epoch length.
+func NewSampler(reg *Registry, every uint64) *Sampler {
+	if every == 0 {
+		return nil
+	}
+	return &Sampler{
+		reg:      reg,
+		every:    every,
+		next:     every,
+		prev:     make(map[string]uint64),
+		counters: make(map[string]bool),
+	}
+}
+
+// Define appends series definitions; nil receivers ignore the call.
+func (s *Sampler) Define(defs ...SeriesDef) {
+	if s == nil {
+		return
+	}
+	s.defs = append(s.defs, defs...)
+	for _, d := range defs {
+		if d.Kind == SeriesRatio || d.Kind == SeriesPerCycle {
+			for _, lists := range [][]string{d.Num, d.Sub, d.Den} {
+				for _, n := range lists {
+					s.counters[n] = true
+				}
+			}
+		}
+	}
+}
+
+// Tick samples an epoch if cycle crossed the epoch boundary. It is safe
+// to call every cycle; between boundaries it is one comparison.
+func (s *Sampler) Tick(cycle uint64) {
+	if s == nil || cycle < s.next {
+		return
+	}
+	s.sample(cycle)
+	s.next = cycle + s.every
+}
+
+// Finish closes the final partial epoch (if it saw any cycles) so short
+// runs still produce at least one sample.
+func (s *Sampler) Finish(cycle uint64) {
+	if s == nil || cycle <= s.prevCycle {
+		return
+	}
+	s.sample(cycle)
+	s.next = cycle + s.every
+}
+
+func (s *Sampler) sample(cycle uint64) {
+	cur := make(map[string]uint64, len(s.counters))
+	for n := range s.counters {
+		cur[n] = s.reg.Sum(n)
+	}
+	dsum := func(names []string) float64 {
+		var d uint64
+		for _, n := range names {
+			d += cur[n] - s.prev[n]
+		}
+		return float64(d)
+	}
+	p := Point{Cycle: cycle, Values: make(map[string]float64, len(s.defs))}
+	dcycles := float64(cycle - s.prevCycle)
+	for i := range s.defs {
+		d := &s.defs[i]
+		var v float64
+		switch d.Kind {
+		case SeriesRatio:
+			if den := dsum(d.Den); den > 0 {
+				v = (dsum(d.Num) - dsum(d.Sub)) / den * d.scale()
+			}
+		case SeriesPerCycle:
+			if dcycles > 0 {
+				v = dsum(d.Num) / dcycles * d.scale()
+			}
+		case SeriesGaugeSum:
+			if len(d.Num) > 0 {
+				v = s.reg.GaugeSum(d.Num[0]) * d.scale()
+			}
+		case SeriesGaugeMean:
+			if len(d.Num) > 0 {
+				v = s.reg.GaugeMean(d.Num[0]) * d.scale()
+			}
+		}
+		p.Values[d.Name] = v
+	}
+	s.points = append(s.points, p)
+	s.prev = cur
+	s.prevCycle = cycle
+}
+
+// Points returns the recorded samples.
+func (s *Sampler) Points() []Point {
+	if s == nil {
+		return nil
+	}
+	return s.points
+}
+
+// Series extracts one named series in epoch order.
+func (s *Sampler) Series(name string) []float64 {
+	if s == nil {
+		return nil
+	}
+	out := make([]float64, 0, len(s.points))
+	for _, p := range s.points {
+		out = append(out, p.Values[name])
+	}
+	return out
+}
+
+// WriteJSONL writes one JSON object per epoch: the meta key/values (run
+// identity etc.), the cycle, and every series value. encoding/json sorts
+// map keys, so the output is deterministic. Values are finite by
+// construction (zero-guarded ratios), which keeps the lines valid JSON.
+func (s *Sampler) WriteJSONL(w io.Writer, meta map[string]string) error {
+	if s == nil {
+		return nil
+	}
+	for _, p := range s.points {
+		line := make(map[string]any, len(p.Values)+len(meta)+1)
+		for k, v := range meta {
+			line[k] = v
+		}
+		line["cycle"] = p.Cycle
+		for k, v := range p.Values {
+			line[k] = v
+		}
+		b, err := json.Marshal(line)
+		if err != nil {
+			return fmt.Errorf("obs: marshal sample at cycle %d: %w", p.Cycle, err)
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Sink fans a sequence of simulation runs into shared output files: a
+// JSONL metrics file (one line per run per epoch) and a single Chrome
+// trace file in which each run is one process. The experiment harness
+// holds one Sink per invocation and attaches an Observer to every
+// simulation it launches.
+//
+// A nil *Sink is fully disabled: Observer returns nil (which in turn
+// disables sampling and tracing inside the simulator) and Finish/Close do
+// nothing, so the harness carries no conditionals.
+type Sink struct {
+	cfg     Config
+	metrics io.Writer
+	trace   *TraceWriter
+	runs    int
+}
+
+// NewSink builds a sink. metrics and trace may each be nil to disable
+// that output; when both are nil the sink itself is nil (disabled).
+func NewSink(metrics, trace io.Writer, cfg Config) (*Sink, error) {
+	if metrics == nil && trace == nil {
+		return nil, nil
+	}
+	s := &Sink{cfg: cfg, metrics: metrics}
+	if metrics == nil {
+		s.cfg.SampleEvery = 0
+	}
+	if trace != nil {
+		if s.cfg.TraceCapacity == 0 {
+			s.cfg.TraceCapacity = DefaultTraceCapacity
+		}
+		tw, err := NewTraceWriter(trace)
+		if err != nil {
+			return nil, err
+		}
+		s.trace = tw
+	} else {
+		s.cfg.TraceCapacity = 0
+	}
+	return s, nil
+}
+
+// Observer creates a fresh Observer for one run, or nil when the sink is
+// disabled.
+func (s *Sink) Observer() *Observer {
+	if s == nil {
+		return nil
+	}
+	return New(s.cfg)
+}
+
+// Finish flushes one completed run's observer into the shared files,
+// tagging its metrics lines and trace process with the run key.
+func (s *Sink) Finish(runKey string, o *Observer) error {
+	if s == nil || o == nil {
+		return nil
+	}
+	if s.metrics != nil && o.Sampler != nil {
+		meta := map[string]string{"run": runKey}
+		if err := o.Sampler.WriteJSONL(s.metrics, meta); err != nil {
+			return fmt.Errorf("obs: metrics for %s: %w", runKey, err)
+		}
+	}
+	if s.trace != nil && o.Tracer != nil {
+		if err := s.trace.AddRun(s.runs, runKey, "core", o.Tracer); err != nil {
+			return fmt.Errorf("obs: trace for %s: %w", runKey, err)
+		}
+	}
+	s.runs++
+	return nil
+}
+
+// Close finalizes the trace file's JSON array.
+func (s *Sink) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.trace.Close()
+}

@@ -1,5 +1,7 @@
 package prefetch
 
+import "mtprefetch/internal/obs"
+
 // MTHWP is the paper's many-thread aware hardware prefetcher (Section
 // III-B, Fig. 6). It combines three tables:
 //
@@ -27,6 +29,9 @@ type MTHWP struct {
 
 	distance int
 	degree   int
+
+	trace      *obs.Tracer // nil: promotion tracing disabled
+	traceTrack int
 
 	stats MTHWPStats
 }
@@ -105,6 +110,24 @@ func (p *MTHWP) Name() string {
 // Stats returns a snapshot of per-table counters.
 func (p *MTHWP) Stats() MTHWPStats { return p.stats }
 
+// Register wires the per-table counters into the registry.
+func (p *MTHWP) Register(r *obs.Registry, l obs.Labels) {
+	st := &p.stats
+	r.Counter("mthwp.observations", l, func() uint64 { return st.Observations })
+	r.Counter("mthwp.pws_accesses", l, func() uint64 { return st.PWSAccesses })
+	r.Counter("mthwp.pws_hits", l, func() uint64 { return st.PWSHits })
+	r.Counter("mthwp.gs_hits", l, func() uint64 { return st.GSHits })
+	r.Counter("mthwp.ip_hits", l, func() uint64 { return st.IPHits })
+	r.Counter("mthwp.promotions", l, func() uint64 { return st.Promotions })
+}
+
+// SetTrace enables stride-promotion events on tr under the given track
+// (the owning core's id).
+func (p *MTHWP) SetTrace(tr *obs.Tracer, track int) {
+	p.trace = tr
+	p.traceTrack = track
+}
+
 // promotionThreshold is the number of PWS entries for one PC that must
 // agree on a stride before it is promoted to the GS table.
 const promotionThreshold = 3
@@ -146,7 +169,7 @@ func (p *MTHWP) Observe(t Train, out []uint64) []uint64 {
 	if pwsTrained {
 		p.stats.PWSHits++
 		if p.enableGS {
-			p.maybePromote(t.PC, st.stride)
+			p.maybePromote(t.PC, t.Cycle, st.stride)
 		}
 		return genStride(t.Addr, st.stride, p.distance, p.degree, t.Footprint, out)
 	}
@@ -201,7 +224,7 @@ func s2conf(s int64) int {
 
 // maybePromote scans the (small) PWS table and promotes (pc, stride) to
 // the GS table when enough warps agree.
-func (p *MTHWP) maybePromote(pc int, stride int64) {
+func (p *MTHWP) maybePromote(pc int, cycle uint64, stride int64) {
 	if _, ok := p.gs.peek(pc); ok {
 		return
 	}
@@ -212,6 +235,7 @@ func (p *MTHWP) maybePromote(pc int, stride int64) {
 			if agree >= promotionThreshold {
 				p.gs.put(pc, stride)
 				p.stats.Promotions++
+				p.trace.Emit(obs.EvStridePromotion, cycle, p.traceTrack, uint64(pc), stride)
 				return
 			}
 		}

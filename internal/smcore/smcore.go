@@ -15,6 +15,7 @@ import (
 	"mtprefetch/internal/kernel"
 	"mtprefetch/internal/memreq"
 	"mtprefetch/internal/mrq"
+	"mtprefetch/internal/obs"
 	"mtprefetch/internal/prefetch"
 	"mtprefetch/internal/stats"
 	"mtprefetch/internal/throttle"
@@ -105,6 +106,8 @@ type Core struct {
 	Throt   *throttle.Engine
 	Filter  *prefetch.PollutionFilter // nil: no pollution filtering
 
+	trace *obs.Tracer // nil: event tracing disabled
+
 	// pfOrigin maps resident prefetched-but-unused blocks to the PC that
 	// generated them, so the pollution filter can attribute outcomes.
 	pfOrigin map[uint64]int
@@ -186,6 +189,47 @@ func New(o Options) (*Core, error) {
 // Stats returns a snapshot of the core's counters.
 func (c *Core) Stats() Stats { return c.stats }
 
+// Observe attaches the observability layer: the core's own counters and
+// those of its sub-components (prefetch cache, MRQ, throttle engine,
+// MT-HWP tables) register into reg, and structured events are emitted
+// into tr. Both may be nil; registration is free on the hot path either
+// way, since the registry samples live state through closures.
+func (c *Core) Observe(reg *obs.Registry, tr *obs.Tracer) {
+	c.trace = tr
+	l := obs.Labels{Core: c.id, Component: "smcore"}
+	st := &c.stats
+	reg.Counter("smcore.instructions", l, func() uint64 { return st.Instructions })
+	reg.Counter("smcore.prog_instructions", l, func() uint64 { return st.ProgInstructions })
+	reg.Counter("smcore.compute_instrs", l, func() uint64 { return st.ComputeInstrs })
+	reg.Counter("smcore.mem_instrs", l, func() uint64 { return st.MemInstrs })
+	reg.Counter("smcore.prefetch_instrs", l, func() uint64 { return st.PrefetchInstrs })
+	reg.Counter("smcore.demand_transactions", l, func() uint64 { return st.DemandTransactions })
+	reg.Counter("smcore.pfcache_hit_transactions", l, func() uint64 { return st.PFCacheHitTransactions })
+	reg.Counter("smcore.prefetches_generated", l, func() uint64 { return st.PrefetchesGenerated })
+	reg.Counter("smcore.prefetches_issued", l, func() uint64 { return st.PrefetchesIssued })
+	reg.Counter("smcore.prefetch_merged_mrq", l, func() uint64 { return st.PrefetchMergedMRQ })
+	reg.Counter("smcore.dropped_throttle", l, func() uint64 { return st.DroppedThrottle })
+	reg.Counter("smcore.dropped_filter", l, func() uint64 { return st.DroppedByFilter })
+	reg.Counter("smcore.dropped_in_cache", l, func() uint64 { return st.DroppedInCache })
+	reg.Counter("smcore.dropped_queue_full", l, func() uint64 { return st.DroppedQueueFull })
+	reg.Counter("smcore.late_prefetches", l, func() uint64 { return st.LatePrefetches })
+	reg.Counter("smcore.issue_stall_full_mrq", l, func() uint64 { return st.IssueStallFullMRQ })
+	reg.Counter("smcore.blocks_completed", l, func() uint64 { return st.BlocksCompleted })
+	reg.Counter("smcore.warps_completed", l, func() uint64 { return st.WarpsCompleted })
+	reg.Histogram("smcore.demand_latency", l, func() stats.Histogram { return st.DemandLatency.Histogram })
+	reg.Gauge("smcore.live_warps", l, func() float64 { return float64(c.liveWarps) })
+
+	c.PFCache.Register(reg, obs.Labels{Core: c.id, Component: "pfcache"})
+	c.MRQ.Register(reg, obs.Labels{Core: c.id, Component: "mrq"})
+	if c.Throt != nil {
+		c.Throt.Register(reg, obs.Labels{Core: c.id, Component: "throttle"})
+	}
+	if mt, ok := c.HWP.(*prefetch.MTHWP); ok {
+		mt.Register(reg, obs.Labels{Core: c.id, Component: "mthwp"})
+		mt.SetTrace(tr, c.id)
+	}
+}
+
 // tryLaunchBlock fills block slot b with a fresh thread block if any.
 func (c *Core) tryLaunchBlock(b int) {
 	blockID, ok := c.src.NextBlock()
@@ -260,8 +304,14 @@ func (c *Core) Fill(cycle uint64, r *memreq.Request) {
 			// Late prefetch: the data still lands in the prefetch cache,
 			// already used.
 			c.PFCache.Fill(entry.Addr, true)
+			if c.trace != nil {
+				c.trace.Emit(obs.EvLatePrefetch, cycle, c.id, entry.Addr, int64(entry.PC))
+			}
 		} else {
 			early, victim := c.PFCache.Fill(entry.Addr, false)
+			if early && c.trace != nil {
+				c.trace.Emit(obs.EvEarlyEviction, cycle, c.id, victim, 0)
+			}
 			if c.Filter != nil {
 				c.pfOrigin[entry.Addr] = entry.PC
 				if early {
@@ -297,7 +347,7 @@ func (c *Core) maybeRetire(slot int) {
 // most one warp-instruction issue.
 func (c *Core) Cycle(cycle uint64) {
 	if c.periodic && cycle >= c.nextPeriod {
-		c.endPeriod()
+		c.endPeriod(cycle)
 		c.nextPeriod = cycle + c.cfg.ThrottlePeriod
 	}
 	if cycle < c.issueBusyUntil || c.liveWarps == 0 {
@@ -491,6 +541,7 @@ func (c *Core) trainHWP(cycle uint64, w *warpState, txs []uint64) {
 	c.candBuf = c.HWP.Observe(prefetch.Train{
 		PC:        w.pc,
 		WarpID:    w.gwid,
+		Cycle:     cycle,
 		Addr:      base,
 		Footprint: c.footBuf,
 	}, c.candBuf[:0])
@@ -516,10 +567,16 @@ func (c *Core) issuePrefetches(cycle uint64, gwid, pc int, candidates []uint64) 
 		c.stats.PrefetchesGenerated++
 		if c.Throt != nil && !c.Throt.Allow() {
 			c.stats.DroppedThrottle++
+			if c.trace != nil {
+				c.trace.Emit(obs.EvPrefetchThrottled, cycle, c.id, addr, int64(c.Throt.Degree()))
+			}
 			continue
 		}
 		if c.Filter != nil && !c.Filter.Allow(pc) {
 			c.stats.DroppedByFilter++
+			if c.trace != nil {
+				c.trace.Emit(obs.EvPrefetchFiltered, cycle, c.id, addr, int64(pc))
+			}
 			continue
 		}
 		if c.PFCache.Contains(addr) {
@@ -530,6 +587,9 @@ func (c *Core) issuePrefetches(cycle uint64, gwid, pc int, candidates []uint64) 
 		switch c.MRQ.Add(r) {
 		case mrq.Accepted:
 			c.stats.PrefetchesIssued++
+			if c.trace != nil {
+				c.trace.Emit(obs.EvPrefetchIssued, cycle, c.id, addr, int64(pc))
+			}
 		case mrq.Merged:
 			c.stats.PrefetchMergedMRQ++
 		case mrq.Rejected:
@@ -540,7 +600,7 @@ func (c *Core) issuePrefetches(cycle uint64, gwid, pc int, candidates []uint64) 
 
 // endPeriod closes a throttling period: it hands the monitored metrics to
 // the throttle engine (Table I) and to any feedback-directed prefetcher.
-func (c *Core) endPeriod() {
+func (c *Core) endPeriod(cycle uint64) {
 	cs := c.PFCache.Stats()
 	ms := c.MRQ.Stats()
 	useful := cs.FirstUses - c.lastCache.FirstUses
@@ -552,7 +612,13 @@ func (c *Core) endPeriod() {
 		PrefetchesIssued: c.stats.PrefetchesIssued - c.lastIssued,
 	}
 	if c.Throt != nil {
-		c.Throt.EndPeriod(m)
+		prev := c.Throt.Degree()
+		deg := c.Throt.EndPeriod(m)
+		if c.trace != nil {
+			// Emitted every period, not just on change, so the Chrome
+			// trace counter track renders a full step function.
+			c.trace.Emit(obs.EvThrottleDegree, cycle, c.id, uint64(deg), int64(prev))
+		}
 	}
 	if fp, ok := c.HWP.(prefetch.FeedbackPrefetcher); ok {
 		fp.ApplyFeedback(prefetch.Feedback{

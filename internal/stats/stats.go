@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -54,37 +55,98 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// Latency accumulates per-event latencies.
-type Latency struct {
-	Count uint64
-	Sum   uint64
-	Max   uint64
+// Histogram accumulates a distribution of uint64 samples in logarithmic
+// (power-of-two) buckets: Buckets[i] counts samples whose bit length is i,
+// i.e. samples in [2^(i-1), 2^i). The fixed bucket array makes Histogram a
+// plain value type — snapshots are struct copies and Merge is exact — while
+// Percentile recovers quantiles with at most one power-of-two of error,
+// plenty for latency distributions spanning 1..10^6 cycles.
+type Histogram struct {
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+	Buckets [65]uint64
 }
 
-// Add records one event of the given latency.
-func (l *Latency) Add(cycles uint64) {
-	l.Count++
-	l.Sum += cycles
-	if cycles > l.Max {
-		l.Max = cycles
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
 	}
+	h.Buckets[bits.Len64(v)]++
 }
 
-// Avg returns the average latency, or 0 with no events.
-func (l *Latency) Avg() float64 {
-	if l.Count == 0 {
+// Avg returns the mean sample, or 0 with no samples.
+func (h *Histogram) Avg() float64 {
+	if h.Count == 0 {
 		return 0
 	}
-	return float64(l.Sum) / float64(l.Count)
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	h.Count += other.Count
+	h.Sum += other.Sum
+	if other.Max > h.Max {
+		h.Max = other.Max
+	}
+	for i := range h.Buckets {
+		h.Buckets[i] += other.Buckets[i]
+	}
+}
+
+// Percentile estimates the p-th percentile (p in [0,100]) by locating the
+// bucket containing the rank and interpolating linearly inside it. The
+// result never exceeds Max, and an empty histogram reports 0.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	target := math.Ceil(p / 100 * float64(h.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		cum += float64(n)
+		if cum < target {
+			continue
+		}
+		if i == 0 {
+			return 0
+		}
+		lo := float64(uint64(1) << (i - 1))
+		frac := (target - (cum - float64(n))) / float64(n)
+		v := lo + frac*lo // bucket spans [lo, 2*lo)
+		if v > float64(h.Max) {
+			v = float64(h.Max)
+		}
+		return v
+	}
+	return float64(h.Max)
+}
+
+// Latency accumulates per-event latencies. It is a Histogram, so beyond
+// Count/Sum/Max it answers Percentile queries over the distribution.
+type Latency struct {
+	Histogram
 }
 
 // Merge folds other into l.
 func (l *Latency) Merge(other Latency) {
-	l.Count += other.Count
-	l.Sum += other.Sum
-	if other.Max > l.Max {
-		l.Max = other.Max
-	}
+	l.Histogram.Merge(&other.Histogram)
 }
 
 // Table renders rows of labelled values as an aligned text table, the
@@ -191,8 +253,16 @@ func (t *Table) CSV() string {
 func (t *Table) Title() string { return t.title }
 
 // FormatFloat renders v compactly: integers without decimals, small values
-// with three significant digits.
+// with three significant digits. Non-finite values render as NaN/Inf/-Inf.
 func FormatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		return fmt.Sprintf("%.0f", v)
 	}

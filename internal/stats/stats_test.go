@@ -78,11 +78,71 @@ func TestLatency(t *testing.T) {
 }
 
 func TestLatencyMerge(t *testing.T) {
-	a := Latency{Count: 2, Sum: 40, Max: 30}
-	b := Latency{Count: 1, Sum: 100, Max: 100}
+	var a, b Latency
+	a.Add(10)
+	a.Add(30)
+	b.Add(100)
 	a.Merge(b)
 	if a.Count != 3 || a.Sum != 140 || a.Max != 100 {
 		t.Errorf("Merge result = %+v", a)
+	}
+	if p := a.Percentile(100); p != 100 {
+		t.Errorf("merged P100 = %v, want 100 (clamped to Max)", p)
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 {
+		t.Error("empty histogram percentile should be 0")
+	}
+	// 100 samples of 10 and one of 1000: the median sits in the 10s, the
+	// tail in the 1000s.
+	for i := 0; i < 100; i++ {
+		h.Add(10)
+	}
+	h.Add(1000)
+	p50 := h.Percentile(50)
+	if p50 < 8 || p50 > 16 {
+		t.Errorf("P50 = %v, want within the [8,16) bucket", p50)
+	}
+	p100 := h.Percentile(100)
+	if p100 != 1000 {
+		t.Errorf("P100 = %v, want 1000 (clamped to Max)", p100)
+	}
+	if h.Percentile(-5) != h.Percentile(0) {
+		t.Error("negative p should clamp to 0")
+	}
+	// Zero samples land in bucket 0 and report exactly 0.
+	var z Histogram
+	z.Add(0)
+	z.Add(0)
+	if z.Percentile(99) != 0 {
+		t.Errorf("all-zero P99 = %v, want 0", z.Percentile(99))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := uint64(1); i <= 64; i++ {
+		a.Add(i)
+		b.Add(i * 100)
+	}
+	count, sum, max := a.Count+b.Count, a.Sum+b.Sum, b.Max
+	a.Merge(&b)
+	if a.Count != count || a.Sum != sum || a.Max != max {
+		t.Errorf("merged = count %d sum %d max %d, want %d/%d/%d",
+			a.Count, a.Sum, a.Max, count, sum, max)
+	}
+	var total uint64
+	for _, n := range a.Buckets {
+		total += n
+	}
+	if total != a.Count {
+		t.Errorf("bucket counts sum to %d, want %d", total, a.Count)
+	}
+	if p := a.Percentile(50); p < 32 || p > 128 {
+		t.Errorf("merged P50 = %v, out of plausible range", p)
 	}
 }
 
@@ -119,6 +179,9 @@ func TestFormatFloat(t *testing.T) {
 		{4.5, "4.500"},
 		{123.456, "123.5"},
 		{0.015, "0.015"},
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "Inf"},
+		{math.Inf(-1), "-Inf"},
 	}
 	for _, c := range cases {
 		if got := FormatFloat(c.in); got != c.want {

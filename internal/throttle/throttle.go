@@ -22,7 +22,10 @@
 // benchmarks.
 package throttle
 
-import "mtprefetch/internal/stats"
+import (
+	"mtprefetch/internal/obs"
+	"mtprefetch/internal/stats"
+)
 
 // Metrics is one period's monitored counters, gathered by the core.
 type Metrics struct {
@@ -77,6 +80,15 @@ func (e *Engine) Periods() uint64 { return e.periods }
 
 // NoPrefetchPeriods reports periods spent fully throttled.
 func (e *Engine) NoPrefetchPeriods() uint64 { return e.noPrefetchPeriods }
+
+// Register wires the engine's degree gauge and period counters into the
+// registry; the degree gauge is the throttle-degree series of the epoch
+// sampler and reads zero-by-absence when throttling is disabled.
+func (e *Engine) Register(r *obs.Registry, l obs.Labels) {
+	r.Gauge("throttle.degree", l, func() float64 { return float64(e.degree) })
+	r.Counter("throttle.periods", l, func() uint64 { return e.periods })
+	r.Counter("throttle.no_prefetch_periods", l, func() uint64 { return e.noPrefetchPeriods })
+}
 
 // Allow decides the fate of one candidate prefetch under the current
 // degree: degree d drops d out of every 5 candidates; at degree 5 only a

@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"mtprefetch/internal/kernel"
+	"mtprefetch/internal/obs"
 	"mtprefetch/internal/prefetch"
 	"mtprefetch/internal/workload"
 )
@@ -248,6 +249,14 @@ func (r ReplayResult) Accuracy() float64 {
 // timeliness were never an issue — the right tool for comparing training
 // algorithms (e.g. naive vs warp-id indexing) in isolation.
 func Replay(events []Event, p prefetch.Prefetcher, cacheBytes, ways, blockBytes int) ReplayResult {
+	return ReplayObserved(events, p, cacheBytes, ways, blockBytes, nil)
+}
+
+// ReplayObserved is Replay with an optional event tracer: each demand
+// access and generated prefetch is emitted on the observing warp's track,
+// using the event index as the (pseudo-)cycle since offline replay has no
+// timing. A nil tracer is free.
+func ReplayObserved(events []Event, p prefetch.Prefetcher, cacheBytes, ways, blockBytes int, tr *obs.Tracer) ReplayResult {
 	var res ReplayResult
 	c := newReplayCache(cacheBytes, ways, blockBytes)
 	var cand []uint64
@@ -255,12 +264,19 @@ func Replay(events []Event, p prefetch.Prefetcher, cacheBytes, ways, blockBytes 
 	for i := range events {
 		e := &events[i]
 		res.Events++
+		hit := 0
 		for _, off := range e.Footprint {
 			res.Transactions++
 			if c.demand(e.Addr + uint64(off)) {
 				res.Covered++
+				hit++
 			}
 		}
+		covered := int64(0)
+		if hit == len(e.Footprint) && hit > 0 {
+			covered = 1
+		}
+		tr.Emit(obs.EvDemandAccess, uint64(i), int(e.WarpID), e.Addr, covered)
 		foot = foot[:0]
 		for _, off := range e.Footprint {
 			foot = append(foot, uint64(off))
@@ -270,6 +286,7 @@ func Replay(events []Event, p prefetch.Prefetcher, cacheBytes, ways, blockBytes 
 		}, cand[:0])
 		for _, a := range cand {
 			res.PrefetchesGenerated++
+			tr.Emit(obs.EvPrefetchIssued, uint64(i), int(e.WarpID), a, int64(e.PC))
 			c.fill(a &^ (uint64(blockBytes) - 1))
 		}
 	}
