@@ -1,8 +1,9 @@
 GO ?= go
 
-.PHONY: check build test vet race bench
+.PHONY: check build test vet race bench bench-parallel
 
-# The full gate used before committing: vet, build, race-enabled tests.
+# The full gate used before committing: vet, build, race-enabled tests
+# (including the scaled-down parallel-harness sweep; see harness_test.go).
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -22,3 +23,8 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Records the parallel harness's wall-clock scaling: per-worker-count
+# sweep times plus the headline speedup-j4 metric.
+bench-parallel:
+	$(GO) test -bench='Sweep' -run=^$$ -benchtime=1x .

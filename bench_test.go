@@ -14,15 +14,19 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"mtprefetch/internal/harness"
 	"mtprefetch/internal/stats"
 )
 
 // benchConfig keeps the benchmarks fast; shapes are stable across scales.
+// Workers pins sequential execution so per-experiment numbers stay
+// comparable across machines; the parallel speedup is measured separately
+// by the *Sweep benchmarks below.
 func benchConfig() harness.Config {
 	subset := true
-	return harness.Config{Waves: 2, Subset: &subset}
+	return harness.Config{Waves: 2, Subset: &subset, Workers: 1}
 }
 
 // runExperiment executes a registry entry b.N times and reports rows.
@@ -107,3 +111,52 @@ func BenchmarkGSTableSavings(b *testing.B) { runExperiment(b, "gstable") }
 
 func BenchmarkThresholdSensitivity(b *testing.B) { runExperiment(b, "thresholds") }
 func BenchmarkMTAMLValidation(b *testing.B)      { runExperiment(b, "mtaml") }
+
+// benchmarkSweepWorkers regenerates one sensitivity sweep at the given
+// worker-pool size, so `go test -bench=Sweep` records how the parallel
+// harness scales. Waves=1 keeps a single iteration affordable.
+func benchmarkSweepWorkers(b *testing.B, id string, workers int) {
+	b.Helper()
+	e := harness.ByID(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	subset := true
+	cfg := harness.Config{Waves: 1, Subset: &subset, Workers: workers}
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig17SweepJ1(b *testing.B) { benchmarkSweepWorkers(b, "fig17", 1) }
+func BenchmarkFig17SweepJ2(b *testing.B) { benchmarkSweepWorkers(b, "fig17", 2) }
+func BenchmarkFig17SweepJ4(b *testing.B) { benchmarkSweepWorkers(b, "fig17", 4) }
+func BenchmarkFig16SweepJ1(b *testing.B) { benchmarkSweepWorkers(b, "fig16", 1) }
+func BenchmarkFig16SweepJ4(b *testing.B) { benchmarkSweepWorkers(b, "fig16", 4) }
+
+// BenchmarkSweepParallelSpeedup times the fig17 sweep at -j 1 and -j 4
+// back to back and reports the wall-clock ratio as the headline
+// "speedup-j4" metric (expect ~min(4, GOMAXPROCS) on an idle machine;
+// on a single-CPU host the pool adds no parallelism and the ratio
+// stays ~1).
+func BenchmarkSweepParallelSpeedup(b *testing.B) {
+	e := harness.ByID("fig17")
+	subset := true
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		seqStart := time.Now()
+		if _, err := e.Run(harness.Config{Waves: 1, Subset: &subset, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+		seq := time.Since(seqStart)
+		parStart := time.Now()
+		if _, err := e.Run(harness.Config{Waves: 1, Subset: &subset, Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+		par := time.Since(parStart)
+		speedup = seq.Seconds() / par.Seconds()
+	}
+	b.ReportMetric(speedup, "speedup-j4")
+}

@@ -12,6 +12,9 @@
 //
 //	-waves N        scale benchmarks to ~N occupancy waves per core (default 2)
 //	-full           run sensitivity sweeps over the full suite, not the subset
+//	-j N            run up to N simulations concurrently per experiment
+//	                (default GOMAXPROCS; -j 1 is strictly sequential, and any
+//	                setting produces byte-identical tables)
 //	-csv DIR        additionally write each table as <DIR>/<exp>-<n>.csv
 //	-metrics FILE   write per-epoch time series as JSONL (one line per run per epoch)
 //	-trace FILE     write a Chrome trace-event JSON (load in Perfetto / chrome://tracing)
@@ -25,6 +28,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -33,7 +37,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: mtpref [-waves N] [-full] [-csv DIR] [-metrics FILE] [-trace FILE] [-sample N] {list | run <id>... | all}\n")
+	fmt.Fprintf(os.Stderr, "usage: mtpref [-waves N] [-full] [-j N] [-csv DIR] [-metrics FILE] [-trace FILE] [-sample N] {list | run <id>... | all}\n")
 	os.Exit(2)
 }
 
@@ -42,20 +46,50 @@ func fatal(args ...any) {
 	os.Exit(1)
 }
 
+// cliFlags holds every mtpref flag value after parsing.
+type cliFlags struct {
+	waves       int
+	workers     int
+	full        bool
+	csvDir      string
+	metricsPath string
+	tracePath   string
+	sample      uint64
+}
+
+// defineFlags registers the mtpref flags on fs and returns the value
+// struct they populate.
+func defineFlags(fs *flag.FlagSet) *cliFlags {
+	c := &cliFlags{}
+	fs.IntVar(&c.waves, "waves", 2, "occupancy waves per core when scaling benchmarks")
+	fs.IntVar(&c.workers, "j", runtime.GOMAXPROCS(0), "concurrent simulations per experiment (1 = sequential)")
+	fs.BoolVar(&c.full, "full", false, "run sensitivity sweeps on the full suite")
+	fs.StringVar(&c.csvDir, "csv", "", "directory to write per-table CSV files into")
+	fs.StringVar(&c.metricsPath, "metrics", "", "JSONL file for per-epoch metric samples")
+	fs.StringVar(&c.tracePath, "trace", "", "Chrome trace-event JSON file")
+	fs.Uint64Var(&c.sample, "sample", 10_000, "epoch length in cycles for -metrics sampling")
+	return c
+}
+
 // parseIntermixed handles flags appearing after positional arguments
 // (`mtpref run fig12 -sample 1000 -metrics m.jsonl`): the standard flag
 // package stops at the first non-flag, so re-parse the remainder after
-// collecting each positional.
-func parseIntermixed() []string {
-	flag.Parse()
-	var pos []string
-	args := flag.Args()
-	for len(args) > 0 {
-		pos = append(pos, args[0])
-		flag.CommandLine.Parse(args[1:]) // ExitOnError: exits on bad flags
-		args = flag.CommandLine.Args()
+// collecting each positional. With flag.ExitOnError a bad flag exits;
+// with flag.ContinueOnError (tests) the first parse error is returned.
+func parseIntermixed(fs *flag.FlagSet, args []string) ([]string, error) {
+	if err := fs.Parse(args); err != nil {
+		return nil, err
 	}
-	return pos
+	var pos []string
+	rest := fs.Args()
+	for len(rest) > 0 {
+		pos = append(pos, rest[0])
+		if err := fs.Parse(rest[1:]); err != nil {
+			return nil, err
+		}
+		rest = fs.Args()
+	}
+	return pos, nil
 }
 
 // outFile wraps a created file in a buffered writer; nil path gives nil
@@ -90,24 +124,23 @@ func (o *outFile) close() {
 }
 
 func main() {
-	waves := flag.Int("waves", 2, "occupancy waves per core when scaling benchmarks")
-	full := flag.Bool("full", false, "run sensitivity sweeps on the full suite")
-	csvDir := flag.String("csv", "", "directory to write per-table CSV files into")
-	metricsPath := flag.String("metrics", "", "JSONL file for per-epoch metric samples")
-	tracePath := flag.String("trace", "", "Chrome trace-event JSON file")
-	sample := flag.Uint64("sample", 10_000, "epoch length in cycles for -metrics sampling")
-	flag.Usage = usage
-	args := parseIntermixed()
+	fs := flag.NewFlagSet("mtpref", flag.ExitOnError)
+	fs.Usage = usage
+	cli := defineFlags(fs)
+	args, err := parseIntermixed(fs, os.Args[1:])
+	if err != nil {
+		usage()
+	}
 	if len(args) == 0 {
 		usage()
 	}
 
-	subset := !*full
-	cfg := harness.Config{Waves: *waves, Subset: &subset}
+	subset := !cli.full
+	cfg := harness.Config{Waves: cli.waves, Subset: &subset, Workers: cli.workers}
 
-	mf, mw := newOutFile(*metricsPath)
-	tf, tw := newOutFile(*tracePath)
-	sink, err := obs.NewSink(mw, tw, obs.Config{SampleEvery: *sample})
+	mf, mw := newOutFile(cli.metricsPath)
+	tf, tw := newOutFile(cli.tracePath)
+	sink, err := obs.NewSink(mw, tw, obs.Config{SampleEvery: cli.sample})
 	if err != nil {
 		fatal(err)
 	}
@@ -120,7 +153,7 @@ func main() {
 		}
 	case "all":
 		for _, e := range harness.Experiments() {
-			if err := runOne(&e, cfg, *csvDir); err != nil {
+			if err := runOne(&e, cfg, cli.csvDir); err != nil {
 				fatal(err)
 			}
 		}
@@ -133,7 +166,7 @@ func main() {
 			if e == nil {
 				fatal(fmt.Sprintf("unknown experiment %q (try 'mtpref list')", id))
 			}
-			if err := runOne(e, cfg, *csvDir); err != nil {
+			if err := runOne(e, cfg, cli.csvDir); err != nil {
 				fatal(err)
 			}
 		}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// parse runs the production flag definitions over argv with errors
+// returned instead of exiting, mirroring main's wiring.
+func parse(t *testing.T, argv []string) (*cliFlags, []string, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("mtpref", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	cli := defineFlags(fs)
+	pos, err := parseIntermixed(fs, argv)
+	return cli, pos, err
+}
+
+func TestParseFlagsBeforePositionals(t *testing.T) {
+	cli, pos, err := parse(t, []string{"-waves", "3", "-j", "4", "-full", "run", "fig10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pos, []string{"run", "fig10"}) {
+		t.Errorf("positionals = %v", pos)
+	}
+	if cli.waves != 3 || cli.workers != 4 || !cli.full {
+		t.Errorf("flags = %+v, want waves=3 workers=4 full=true", cli)
+	}
+}
+
+func TestParseFlagsAfterPositionals(t *testing.T) {
+	cli, pos, err := parse(t, []string{"run", "fig12", "-metrics", "m.jsonl", "-sample", "500", "-j", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pos, []string{"run", "fig12"}) {
+		t.Errorf("positionals = %v", pos)
+	}
+	if cli.metricsPath != "m.jsonl" || cli.sample != 500 || cli.workers != 2 {
+		t.Errorf("flags = %+v, want metrics=m.jsonl sample=500 workers=2", cli)
+	}
+}
+
+func TestParseFlagsIntermixed(t *testing.T) {
+	cli, pos, err := parse(t, []string{
+		"-trace", "t.json", "run", "-j", "8", "fig10", "-waves", "1", "fig12", "-full"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pos, []string{"run", "fig10", "fig12"}) {
+		t.Errorf("positionals = %v", pos)
+	}
+	if cli.tracePath != "t.json" || cli.workers != 8 || cli.waves != 1 || !cli.full {
+		t.Errorf("flags = %+v, want trace=t.json workers=8 waves=1 full=true", cli)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	cli, pos, err := parse(t, []string{"list"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pos, []string{"list"}) {
+		t.Errorf("positionals = %v", pos)
+	}
+	if cli.waves != 2 || cli.sample != 10_000 || cli.full || cli.csvDir != "" {
+		t.Errorf("defaults = %+v", cli)
+	}
+	if cli.workers != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workers = %d, want GOMAXPROCS (%d)", cli.workers, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestParseBadFlag(t *testing.T) {
+	for _, argv := range [][]string{
+		{"-bogus", "run", "fig10"},
+		{"run", "fig10", "-bogus"},
+		{"-waves", "x", "list"},
+	} {
+		if _, _, err := parse(t, argv); err == nil {
+			t.Errorf("parse(%v) succeeded, want error", argv)
+		}
+	}
+}

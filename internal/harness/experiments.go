@@ -49,19 +49,31 @@ func runTable2(Config) ([]*stats.Table, error) {
 	return []*stats.Table{t}, nil
 }
 
+// pmemF submits the perfect-memory run for a benchmark.
+func pmemF(r *runner, s *workload.Spec) *future {
+	return r.submit("pmem/"+s.Name, core.Options{
+		Config: r.machine(), Workload: r.spec(s), PerfectMemory: true,
+	})
+}
+
 func runTable3(c Config) ([]*stats.Table, error) {
 	r := newRunner(c)
 	t := stats.NewTable("Table III — memory-intensive benchmark characteristics",
 		"bench", "suite", "type", "warps", "blocks", "maxBlk/core",
 		"baseCPI", "pmemCPI", "paperBase", "paperPMem", "DEL(S/IP)")
-	for _, s := range suite() {
-		base, err := r.baseline(s)
+	specs := suite()
+	bases := make([]*future, len(specs))
+	pmems := make([]*future, len(specs))
+	for i, s := range specs {
+		bases[i] = r.baselineF(s)
+		pmems[i] = pmemF(r, s)
+	}
+	for i, s := range specs {
+		base, err := bases[i].wait()
 		if err != nil {
 			return nil, err
 		}
-		pm, err := r.run("pmem/"+s.Name, core.Options{
-			Config: r.machine(), Workload: r.spec(s), PerfectMemory: true,
-		})
+		pm, err := pmems[i].wait()
 		if err != nil {
 			return nil, err
 		}
@@ -79,18 +91,22 @@ func runTable4(c Config) ([]*stats.Table, error) {
 	mt := hwMTHWP(true, true, 1)
 	t := stats.NewTable("Table IV — non-memory-intensive benchmarks",
 		"bench", "suite", "baseCPI", "pmemCPI", "hwpCPI", "paperBase", "paperPMem")
-	for _, s := range workload.NonIntensiveSpecs() {
-		base, err := r.baseline(s)
+	specs := workload.NonIntensiveSpecs()
+	type row struct{ base, pmem, hw *future }
+	rows := make([]row, len(specs))
+	for i, s := range specs {
+		rows[i] = row{r.baselineF(s), pmemF(r, s), r.hardwareF(s, mt.name, mt.make, false)}
+	}
+	for i, s := range specs {
+		base, err := rows[i].base.wait()
 		if err != nil {
 			return nil, err
 		}
-		pm, err := r.run("pmem/"+s.Name, core.Options{
-			Config: r.machine(), Workload: r.spec(s), PerfectMemory: true,
-		})
+		pm, err := rows[i].pmem.wait()
 		if err != nil {
 			return nil, err
 		}
-		hw, err := r.hardware(s, mt.name, mt.make, false)
+		hw, err := rows[i].hw.wait()
 		if err != nil {
 			return nil, err
 		}
@@ -129,12 +145,18 @@ func runFig8(c Config) ([]*stats.Table, error) {
 	r := newRunner(c)
 	t := stats.NewTable("Figure 8 — normalized avg memory latency (bar) and prefetch accuracy (circle) under MT-SWP",
 		"bench", "normLatency", "accuracy%")
-	for _, s := range suite() {
-		base, err := r.baseline(s)
+	specs := suite()
+	type row struct{ base, pf *future }
+	rows := make([]row, len(specs))
+	for i, s := range specs {
+		rows[i] = row{r.baselineF(s), r.softwareF(s, swpref.MTSWP, false)}
+	}
+	for i, s := range specs {
+		base, err := rows[i].base.wait()
 		if err != nil {
 			return nil, err
 		}
-		pf, err := r.software(s, swpref.MTSWP, false)
+		pf, err := rows[i].pf.wait()
 		if err != nil {
 			return nil, err
 		}
@@ -145,38 +167,65 @@ func runFig8(c Config) ([]*stats.Table, error) {
 	return []*stats.Table{t}, nil
 }
 
-// swSpeedupTable renders one speedup column set for the software figures.
-func swSpeedupTable(r *runner, title string, modes []swpref.Mode, names []string, throttleLast bool) (*stats.Table, error) {
-	headers := append([]string{"bench", "type"}, names...)
-	t := stats.NewTable(title, headers...)
-	var matrix [][]float64
-	for _, s := range suite() {
-		base, err := r.baseline(s)
+// speedupMatrix waits for a baseline-per-row plus a futures matrix and
+// folds them into per-row speedup vectors, preserving submission order.
+func speedupMatrix(bases []*future, runs [][]*future) ([][]float64, error) {
+	matrix := make([][]float64, len(bases))
+	for i := range bases {
+		base, err := bases[i].wait()
 		if err != nil {
 			return nil, err
 		}
-		row := make([]float64, 0, len(modes))
-		for i, m := range modes {
-			throttle := throttleLast && i == len(modes)-1
-			pf, err := r.software(s, m, throttle)
+		row := make([]float64, 0, len(runs[i]))
+		for _, f := range runs[i] {
+			res, err := f.wait()
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, pf.Speedup(base))
+			row = append(row, res.Speedup(base))
 		}
-		matrix = append(matrix, row)
+		matrix[i] = row
+	}
+	return matrix, nil
+}
+
+// speedupTable assembles the standard bench/type/columns speedup table
+// (plus the geomean footer) from a completed matrix.
+func speedupTable(title string, specs []*workload.Spec, cols []string, matrix [][]float64) *stats.Table {
+	headers := append([]string{"bench", "type"}, cols...)
+	t := stats.NewTable(title, headers...)
+	for i, s := range specs {
 		cells := []string{s.Name, s.Class.String()}
-		for _, v := range row {
+		for _, v := range matrix[i] {
 			cells = append(cells, stats.FormatFloat(v))
 		}
 		t.AddRow(cells...)
 	}
 	cells := []string{"geomean", ""}
-	for i := range names {
+	for i := range cols {
 		cells = append(cells, stats.FormatFloat(geomeanColumn(matrix, i)))
 	}
 	t.AddRow(cells...)
-	return t, nil
+	return t
+}
+
+// swSpeedupTable renders one speedup column set for the software figures.
+func swSpeedupTable(r *runner, title string, modes []swpref.Mode, names []string, throttleLast bool) (*stats.Table, error) {
+	specs := suite()
+	bases := make([]*future, len(specs))
+	runs := make([][]*future, len(specs))
+	for i, s := range specs {
+		bases[i] = r.baselineF(s)
+		for j, m := range modes {
+			throttle := throttleLast && j == len(modes)-1
+			runs[i] = append(runs[i], r.softwareF(s, m, throttle))
+		}
+	}
+	matrix, err := speedupMatrix(bases, runs)
+	if err != nil {
+		return nil, err
+	}
+	return speedupTable(title, specs, names, matrix), nil
 }
 
 func runFig10(c Config) ([]*stats.Table, error) {
@@ -209,16 +258,24 @@ func runFig12(c Config) ([]*stats.Table, error) {
 		"bench", "mt-swp", "mt-swp+T")
 	bw := stats.NewTable("Figure 12b — bandwidth consumption normalized to no-prefetching",
 		"bench", "mt-swp", "mt-swp+T")
-	for _, s := range suite() {
-		base, err := r.baseline(s)
+	specs := suite()
+	type row struct{ base, pf, pfT *future }
+	rows := make([]row, len(specs))
+	for i, s := range specs {
+		rows[i] = row{r.baselineF(s),
+			r.softwareF(s, swpref.MTSWP, false),
+			r.softwareF(s, swpref.MTSWP, true)}
+	}
+	for i, s := range specs {
+		base, err := rows[i].base.wait()
 		if err != nil {
 			return nil, err
 		}
-		pf, err := r.software(s, swpref.MTSWP, false)
+		pf, err := rows[i].pf.wait()
 		if err != nil {
 			return nil, err
 		}
-		pfT, err := r.software(s, swpref.MTSWP, true)
+		pfT, err := rows[i].pfT.wait()
 		if err != nil {
 			return nil, err
 		}
@@ -236,43 +293,29 @@ func runFig12(c Config) ([]*stats.Table, error) {
 // hwSpeedupTable renders one speedup table over the full suite for a list
 // of hardware prefetchers.
 func hwSpeedupTable(r *runner, title string, hws []namedHW, throttled []bool) (*stats.Table, error) {
-	headers := []string{"bench", "type"}
+	cols := make([]string, 0, len(hws))
 	for i, h := range hws {
 		n := h.name
 		if throttled != nil && throttled[i] {
 			n += "+T"
 		}
-		headers = append(headers, n)
+		cols = append(cols, n)
 	}
-	t := stats.NewTable(title, headers...)
-	var matrix [][]float64
-	for _, s := range suite() {
-		base, err := r.baseline(s)
-		if err != nil {
-			return nil, err
+	specs := suite()
+	bases := make([]*future, len(specs))
+	runs := make([][]*future, len(specs))
+	for i, s := range specs {
+		bases[i] = r.baselineF(s)
+		for j, h := range hws {
+			thr := throttled != nil && throttled[j]
+			runs[i] = append(runs[i], r.hardwareF(s, h.name, h.make, thr))
 		}
-		row := make([]float64, 0, len(hws))
-		for i, h := range hws {
-			thr := throttled != nil && throttled[i]
-			res, err := r.hardware(s, h.name, h.make, thr)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res.Speedup(base))
-		}
-		matrix = append(matrix, row)
-		cells := []string{s.Name, s.Class.String()}
-		for _, v := range row {
-			cells = append(cells, stats.FormatFloat(v))
-		}
-		t.AddRow(cells...)
 	}
-	cells := []string{"geomean", ""}
-	for i := range hws {
-		cells = append(cells, stats.FormatFloat(geomeanColumn(matrix, i)))
+	matrix, err := speedupMatrix(bases, runs)
+	if err != nil {
+		return nil, err
 	}
-	t.AddRow(cells...)
-	return t, nil
+	return speedupTable(title, specs, cols, matrix), nil
 }
 
 func runFig13(c Config) ([]*stats.Table, error) {
@@ -328,26 +371,30 @@ func runFig15(c Config) ([]*stats.Table, error) {
 	return []*stats.Table{t}, nil
 }
 
+// sweepModes are the four series the Fig. 16/18 sweeps plot.
+var sweepModes = []struct {
+	hw  bool
+	thr bool
+}{{true, false}, {true, true}, {false, false}, {false, true}}
+
 func runFig16(c Config) ([]*stats.Table, error) {
 	r := newRunner(c)
 	sizes := []int{1, 2, 4, 8, 16, 32, 64, 128}
 	t := stats.NewTable("Figure 16 — sensitivity to prefetch cache size (geomean speedup over baseline)",
 		"sizeKB", "mt-hwp", "mt-hwp+T", "mt-swp", "mt-swp+T")
 	mt := hwMTHWP(true, true, 1)
-	for _, kb := range sizes {
+	specs := r.sweepSuite()
+	bases := make([]*future, len(specs))
+	for i, s := range specs {
+		bases[i] = r.baselineF(s)
+	}
+	runs := make([][][]*future, len(sizes)) // [size][spec][mode]
+	for si, kb := range sizes {
 		cfg := r.machine()
 		cfg.PrefetchCacheBytes = kb * 1024
-		var rows [][]float64
-		for _, s := range r.sweepSuite() {
-			base, err := r.baseline(s)
-			if err != nil {
-				return nil, err
-			}
-			row := make([]float64, 0, 4)
-			for _, mode := range []struct {
-				hw  bool
-				thr bool
-			}{{true, false}, {true, true}, {false, false}, {false, true}} {
+		runs[si] = make([][]*future, len(specs))
+		for i, s := range specs {
+			for _, mode := range sweepModes {
 				o := core.Options{Config: cfg, Workload: r.spec(s), Throttle: mode.thr}
 				key := fmt.Sprintf("fig16/%s/%d/%v/%v", s.Name, kb, mode.hw, mode.thr)
 				if mode.hw {
@@ -355,13 +402,14 @@ func runFig16(c Config) ([]*stats.Table, error) {
 				} else {
 					o.Software = swpref.MTSWP
 				}
-				res, err := r.run(key, o)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, res.Speedup(base))
+				runs[si][i] = append(runs[si][i], r.submit(key, o))
 			}
-			rows = append(rows, row)
+		}
+	}
+	for si, kb := range sizes {
+		rows, err := speedupMatrix(bases, runs[si])
+		if err != nil {
+			return nil, err
 		}
 		t.AddRowValues(fmt.Sprint(kb),
 			geomeanColumn(rows, 0), geomeanColumn(rows, 1),
@@ -379,24 +427,22 @@ func runFig17(c Config) ([]*stats.Table, error) {
 		headers = append(headers, fmt.Sprintf("d=%d", d))
 	}
 	t := stats.NewTable("Figure 17 — MT-HWP prefetch distance sensitivity (speedup over baseline)", headers...)
-	var matrix [][]float64
-	for _, s := range specs {
-		base, err := r.baseline(s)
-		if err != nil {
-			return nil, err
-		}
-		row := make([]float64, 0, len(distances))
+	bases := make([]*future, len(specs))
+	runs := make([][]*future, len(specs))
+	for i, s := range specs {
+		bases[i] = r.baselineF(s)
 		for _, d := range distances {
 			h := hwMTHWP(true, true, d)
-			res, err := r.hardware(s, h.name, h.make, false)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res.Speedup(base))
+			runs[i] = append(runs[i], r.hardwareF(s, h.name, h.make, false))
 		}
-		matrix = append(matrix, row)
+	}
+	matrix, err := speedupMatrix(bases, runs)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range specs {
 		cells := []string{s.Name}
-		for _, v := range row {
+		for _, v := range matrix[i] {
 			cells = append(cells, stats.FormatFloat(v))
 		}
 		t.AddRow(cells...)
@@ -414,22 +460,23 @@ func runFig18(c Config) ([]*stats.Table, error) {
 	t := stats.NewTable("Figure 18 — sensitivity to number of cores (geomean speedup over same-core baseline)",
 		"cores", "mt-hwp", "mt-hwp+T", "mt-swp", "mt-swp+T")
 	mt := hwMTHWP(true, true, 1)
+	specs := r.sweepSuite()
+	var coreCounts []int
 	for cores := 8; cores <= 20; cores += 2 {
+		coreCounts = append(coreCounts, cores)
+	}
+	bases := make([][]*future, len(coreCounts)) // [cores][spec]
+	runs := make([][][]*future, len(coreCounts))
+	for ci, cores := range coreCounts {
 		cfg := r.machine()
 		cfg.NumCores = cores
-		var rows [][]float64
-		for _, s := range r.sweepSuite() {
+		bases[ci] = make([]*future, len(specs))
+		runs[ci] = make([][]*future, len(specs))
+		for i, s := range specs {
 			spec := r.spec(s)
-			base, err := r.run(fmt.Sprintf("fig18base/%s/%d", s.Name, cores),
+			bases[ci][i] = r.submit(fmt.Sprintf("fig18base/%s/%d", s.Name, cores),
 				core.Options{Config: cfg, Workload: spec})
-			if err != nil {
-				return nil, err
-			}
-			row := make([]float64, 0, 4)
-			for _, mode := range []struct {
-				hw  bool
-				thr bool
-			}{{true, false}, {true, true}, {false, false}, {false, true}} {
+			for _, mode := range sweepModes {
 				o := core.Options{Config: cfg, Workload: spec, Throttle: mode.thr}
 				key := fmt.Sprintf("fig18/%s/%d/%v/%v", s.Name, cores, mode.hw, mode.thr)
 				if mode.hw {
@@ -437,13 +484,14 @@ func runFig18(c Config) ([]*stats.Table, error) {
 				} else {
 					o.Software = swpref.MTSWP
 				}
-				res, err := r.run(key, o)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, res.Speedup(base))
+				runs[ci][i] = append(runs[ci][i], r.submit(key, o))
 			}
-			rows = append(rows, row)
+		}
+	}
+	for ci, cores := range coreCounts {
+		rows, err := speedupMatrix(bases[ci], runs[ci])
+		if err != nil {
+			return nil, err
 		}
 		t.AddRowValues(fmt.Sprint(cores),
 			geomeanColumn(rows, 0), geomeanColumn(rows, 1),
@@ -456,14 +504,21 @@ func runGSTable(c Config) ([]*stats.Table, error) {
 	r := newRunner(c)
 	t := stats.NewTable("Section VIII-B — PWS accesses saved by the GS table (stride-type)",
 		"bench", "pwsAccesses(noGS)", "pwsAccesses(GS)", "gsHits", "saved%")
-	for _, s := range workload.ByClass(workload.Stride) {
+	specs := workload.ByClass(workload.Stride)
+	type row struct{ noGS, withGS *future }
+	rows := make([]row, len(specs))
+	for i, s := range specs {
 		noGS := hwMTHWP(false, false, 1)
 		withGS := hwMTHWP(true, false, 1)
-		a, err := r.hardware(s, noGS.name, noGS.make, false)
+		rows[i] = row{r.hardwareF(s, noGS.name, noGS.make, false),
+			r.hardwareF(s, withGS.name, withGS.make, false)}
+	}
+	for i, s := range specs {
+		a, err := rows[i].noGS.wait()
 		if err != nil {
 			return nil, err
 		}
-		b, err := r.hardware(s, withGS.name, withGS.make, false)
+		b, err := rows[i].withGS.wait()
 		if err != nil {
 			return nil, err
 		}

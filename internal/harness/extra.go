@@ -37,22 +37,33 @@ func runThresholds(c Config) ([]*stats.Table, error) {
 	}
 	t := stats.NewTable("Throttle threshold sensitivity (geomean MT-SWP+T speedup, sensitivity subset)",
 		"earlyHigh", "earlyLow", "mergeHigh", "geomean", "note")
-	for _, s := range settings {
-		var sp []float64
-		for _, spec := range r.sweepSuite() {
-			base, err := r.baseline(spec)
-			if err != nil {
-				return nil, err
-			}
+	specs := r.sweepSuite()
+	bases := make([]*future, len(specs))
+	for i, spec := range specs {
+		bases[i] = r.baselineF(spec)
+	}
+	runs := make([][]*future, len(settings)) // [setting][spec]
+	for si, s := range settings {
+		for _, spec := range specs {
 			cfg := r.machine()
 			cfg.EarlyHighThresh = s.high
 			cfg.EarlyLowThresh = s.low
 			cfg.MergeHighThresh = s.merge
 			key := fmt.Sprintf("thr/%s/%v", spec.Name, s)
-			res, err := r.run(key, core.Options{
+			runs[si] = append(runs[si], r.submit(key, core.Options{
 				Config: cfg, Workload: r.spec(spec),
 				Software: swpref.MTSWP, Throttle: true,
-			})
+			}))
+		}
+	}
+	for si, s := range settings {
+		var sp []float64
+		for i := range specs {
+			base, err := bases[i].wait()
+			if err != nil {
+				return nil, err
+			}
+			res, err := runs[si][i].wait()
 			if err != nil {
 				return nil, err
 			}
@@ -77,12 +88,18 @@ func runMTAML(c Config) ([]*stats.Table, error) {
 	t := stats.NewTable("MTAML classification vs measured MT-SWP outcome",
 		"bench", "warps", "MTAML", "MTAML_pref", "lat", "model says", "measured")
 	issue := r.machine().IssueCostALU
-	for _, s := range suite() {
-		base, err := r.baseline(s)
+	specs := suite()
+	type row struct{ base, pf *future }
+	rows := make([]row, len(specs))
+	for i, s := range specs {
+		rows[i] = row{r.baselineF(s), r.softwareF(s, swpref.MTSWP, false)}
+	}
+	for i, s := range specs {
+		base, err := rows[i].base.wait()
 		if err != nil {
 			return nil, err
 		}
-		pf, err := r.software(s, swpref.MTSWP, false)
+		pf, err := rows[i].pf.wait()
 		if err != nil {
 			return nil, err
 		}

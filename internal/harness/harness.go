@@ -6,7 +6,9 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"mtprefetch/internal/config"
 	"mtprefetch/internal/core"
@@ -36,6 +38,13 @@ type Config struct {
 	// -metrics/-trace/-sample flags). Memoised runs are recorded once,
 	// under the key of their first execution.
 	Obs *obs.Sink
+	// Workers bounds how many simulations one experiment runs
+	// concurrently (default GOMAXPROCS). Simulations are independent, so
+	// any setting produces byte-identical tables: experiments submit
+	// their full run set up front and assemble rows from the completed
+	// futures in registration order. 1 reproduces strictly sequential
+	// execution.
+	Workers int
 }
 
 func (c Config) waves() int {
@@ -57,6 +66,13 @@ func (c Config) subset() bool {
 		return true
 	}
 	return *c.Subset
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
 }
 
 // Experiment is one regenerable table or figure.
@@ -92,21 +108,53 @@ func ByID(id string) *Experiment {
 
 // runner executes simulations with memoisation, so experiments sharing
 // baselines (Figs. 10-15 all normalise to the no-prefetching run) do not
-// repeat them.
+// repeat them. It is safe for concurrent use: submissions for the same
+// key are collapsed singleflight-style onto one execution (racing
+// goroutines wait for the first), and distinct keys run concurrently on a
+// bounded worker pool of Config.Workers goroutines.
 type runner struct {
-	c     Config
-	cache map[string]*core.Result
+	c   Config
+	sem chan struct{} // worker-pool slots; acquired for each execution
+
+	mu    sync.Mutex
+	tasks map[string]*task
+}
+
+// task is one memoised execution; done is closed once res/err are set.
+type task struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+// future is a handle on a submitted simulation; wait blocks until its
+// task completes.
+type future struct{ t *task }
+
+func (f *future) wait() (*core.Result, error) {
+	<-f.t.done
+	return f.t.res, f.t.err
 }
 
 func newRunner(c Config) *runner {
-	return &runner{c: c, cache: make(map[string]*core.Result)}
+	return &runner{
+		c:     c,
+		sem:   make(chan struct{}, c.workers()),
+		tasks: make(map[string]*task),
+	}
 }
 
 // spec scales a benchmark to the configured number of waves, computed
-// against the baseline 14-core machine so sweeps stay comparable.
+// against the baseline 14-core machine so sweeps stay comparable. The
+// factor rounds to nearest (min 1): truncation would run a benchmark
+// with Blocks just under a multiple of the target at up to ~2x the
+// intended waves, and one with Blocks < target entirely unscaled.
 func (r *runner) spec(s *workload.Spec) *workload.Spec {
 	target := 14 * s.MaxBlocksPerCore * r.c.waves()
-	f := s.Blocks / target
+	f := (s.Blocks + target/2) / target
+	if f < 1 {
+		f = 1
+	}
 	return s.Scaled(f)
 }
 
@@ -117,36 +165,65 @@ func (r *runner) machine() *config.Config {
 	return cfg
 }
 
-// run executes (or recalls) one simulation. key must uniquely identify
-// the configuration.
-func (r *runner) run(key string, o core.Options) (*core.Result, error) {
-	if res, ok := r.cache[key]; ok {
-		return res, nil
+// submit schedules one simulation (or joins the in-flight/completed
+// execution memoised under key) and returns its future. key must
+// uniquely identify the configuration; the options of later submissions
+// with the same key are ignored.
+func (r *runner) submit(key string, o core.Options) *future {
+	r.mu.Lock()
+	t, ok := r.tasks[key]
+	if !ok {
+		t = &task{done: make(chan struct{})}
+		r.tasks[key] = t
+		go r.execute(key, t, o)
 	}
+	r.mu.Unlock()
+	return &future{t}
+}
+
+// execute runs one simulation on a worker-pool slot and completes t. The
+// result is stored before the observability sink records it: a Finish
+// error must not discard the simulation, or a retry under the same key
+// would re-run it and duplicate the sink's trace/sample output (the sink
+// is additionally idempotent per key).
+func (r *runner) execute(key string, t *task, o core.Options) {
+	defer close(t.done)
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
 	o.Obs = r.c.Obs.Observer()
 	res, err := core.Run(o)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", key, err)
+		t.err = fmt.Errorf("%s: %w", key, err)
+		return
 	}
+	t.res = res
 	if err := r.c.Obs.Finish(key, o.Obs); err != nil {
-		return nil, fmt.Errorf("%s: %w", key, err)
+		t.err = fmt.Errorf("%s: %w", key, err)
 	}
-	r.cache[key] = res
-	return res, nil
 }
 
-// baseline runs the no-prefetching binary for a benchmark.
-func (r *runner) baseline(s *workload.Spec) (*core.Result, error) {
-	return r.run("base/"+s.Name, core.Options{
+// run executes (or recalls) one simulation synchronously.
+func (r *runner) run(key string, o core.Options) (*core.Result, error) {
+	return r.submit(key, o).wait()
+}
+
+// baselineF submits the no-prefetching binary for a benchmark.
+func (r *runner) baselineF(s *workload.Spec) *future {
+	return r.submit("base/"+s.Name, core.Options{
 		Config:   r.machine(),
 		Workload: r.spec(s),
 	})
 }
 
-// software runs a software-prefetching configuration.
-func (r *runner) software(s *workload.Spec, m swpref.Mode, throttle bool) (*core.Result, error) {
+// baseline is the synchronous form of baselineF.
+func (r *runner) baseline(s *workload.Spec) (*core.Result, error) {
+	return r.baselineF(s).wait()
+}
+
+// softwareF submits a software-prefetching configuration.
+func (r *runner) softwareF(s *workload.Spec, m swpref.Mode, throttle bool) *future {
 	key := fmt.Sprintf("sw/%s/%v/%v", s.Name, m, throttle)
-	return r.run(key, core.Options{
+	return r.submit(key, core.Options{
 		Config:   r.machine(),
 		Workload: r.spec(s),
 		Software: m,
@@ -154,15 +231,25 @@ func (r *runner) software(s *workload.Spec, m swpref.Mode, throttle bool) (*core
 	})
 }
 
-// hardware runs a hardware-prefetching configuration.
-func (r *runner) hardware(s *workload.Spec, name string, f func() prefetch.Prefetcher, throttle bool) (*core.Result, error) {
+// software is the synchronous form of softwareF.
+func (r *runner) software(s *workload.Spec, m swpref.Mode, throttle bool) (*core.Result, error) {
+	return r.softwareF(s, m, throttle).wait()
+}
+
+// hardwareF submits a hardware-prefetching configuration.
+func (r *runner) hardwareF(s *workload.Spec, name string, f func() prefetch.Prefetcher, throttle bool) *future {
 	key := fmt.Sprintf("hw/%s/%s/%v", s.Name, name, throttle)
-	return r.run(key, core.Options{
+	return r.submit(key, core.Options{
 		Config:   r.machine(),
 		Workload: r.spec(s),
 		Hardware: f,
 		Throttle: throttle,
 	})
+}
+
+// hardware is the synchronous form of hardwareF.
+func (r *runner) hardware(s *workload.Spec, name string, f func() prefetch.Prefetcher, throttle bool) (*core.Result, error) {
+	return r.hardwareF(s, name, f, throttle).wait()
 }
 
 // suite returns the memory-intensive benchmarks in Table III order.

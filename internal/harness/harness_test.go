@@ -152,22 +152,37 @@ func TestConfigDefaults(t *testing.T) {
 	}
 }
 
+// raceSweepIDs is the scaled-down experiment subset the sweep runs under
+// the race detector (where the full registry exceeds the default test
+// timeout): the static tables plus the cheapest simulating experiments,
+// which together still exercise the parallel runner (baseline, perfect
+// memory, hardware-prefetch and pmem futures racing on shared baselines).
+var raceSweepIDs = map[string]bool{
+	"table2": true, "table4": true, "table5": true,
+	"table6": true, "gstable": true,
+}
+
 // TestAllExperimentsRun executes every registry entry at the smallest
 // scale, verifying each produces non-empty tables without error. This is
-// the expensive integration test; skip with -short. It also skips under
-// the race detector (where it exceeds the default test timeout) — the
-// simulator's race coverage comes from the per-package suites.
+// the expensive integration test; skip with -short. Under the race
+// detector it runs the raceSweepIDs subset with a multi-worker pool, so
+// the parallel runner and sink paths get race coverage on every `make
+// check` instead of being skipped wholesale.
 func TestAllExperimentsRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep skipped in -short mode")
 	}
+	cfg := fastConfig()
 	if raceEnabled {
-		t.Skip("full experiment sweep skipped under the race detector")
+		cfg.Workers = 4
 	}
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tables, err := e.Run(fastConfig())
+			if raceEnabled && !raceSweepIDs[e.ID] {
+				t.Skip("scaled race sweep runs only the raceSweepIDs subset")
+			}
+			tables, err := e.Run(cfg)
 			if err != nil {
 				t.Fatal(err)
 			}

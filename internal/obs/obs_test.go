@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"mtprefetch/internal/stats"
@@ -259,5 +261,121 @@ func TestSinkMultiRun(t *testing.T) {
 	}
 	if len(pids) != 2 {
 		t.Errorf("trace pids = %v, want 2 distinct runs", pids)
+	}
+}
+
+// sinkObserver builds an observer with one counter, a defined series, and
+// one trace event, finished under the given key.
+func sinkObserver(s *Sink, cycles uint64) *Observer {
+	o := s.Observer()
+	n := uint64(0)
+	o.Registry.Counter("n", Labels{}, func() uint64 { return n })
+	o.Sampler.Define(SeriesDef{Name: "rate", Kind: SeriesPerCycle, Num: []string{"n"}})
+	n = cycles
+	o.Sampler.Tick(cycles)
+	o.Tracer.Emit(EvPrefetchIssued, cycles/2, 0, 0x80, 7)
+	return o
+}
+
+func TestSinkConcurrentFinish(t *testing.T) {
+	var mbuf, tbuf bytes.Buffer
+	s, err := NewSink(&mbuf, &tbuf, Config{SampleEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 16
+	var wg sync.WaitGroup
+	errs := make([]error, runs)
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := sinkObserver(s, uint64(10*(i+1)))
+			errs[i] = s.Finish(fmt.Sprintf("run-%02d", i), o)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every metrics line must be intact JSON with its own run key:
+	// concurrent finishes may not interleave inside a run's records.
+	keys := map[string]int{}
+	sc := bufio.NewScanner(&mbuf)
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("metrics line corrupted: %v: %q", err, sc.Text())
+		}
+		keys[line["run"].(string)]++
+	}
+	if len(keys) != runs {
+		t.Errorf("metrics cover %d runs, want %d: %v", len(keys), runs, keys)
+	}
+	// The combined trace must stay one valid JSON array with one distinct
+	// pid per run.
+	var events []map[string]any
+	if err := json.Unmarshal(tbuf.Bytes(), &events); err != nil {
+		t.Fatalf("combined trace invalid: %v", err)
+	}
+	pids := map[float64]bool{}
+	for _, e := range events {
+		pids[e["pid"].(float64)] = true
+	}
+	if len(pids) != runs {
+		t.Errorf("trace pids = %d, want %d", len(pids), runs)
+	}
+}
+
+func TestSinkFinishIdempotent(t *testing.T) {
+	var mbuf, tbuf bytes.Buffer
+	s, err := NewSink(&mbuf, &tbuf, Config{SampleEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Finish("same-key", sinkObserver(s, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(mbuf.String(), "\n"); got != 1 {
+		t.Errorf("metrics lines = %d, want 1 (a single epoch from a single recorded run)", got)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(tbuf.Bytes(), &events); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	pids := map[float64]bool{}
+	for _, e := range events {
+		pids[e["pid"].(float64)] = true
+	}
+	if len(pids) != 1 {
+		t.Errorf("trace pids = %d, want 1 (duplicate finishes must not re-record)", len(pids))
+	}
+}
+
+func TestSinkFinishAfterCloseIsNoop(t *testing.T) {
+	var mbuf, tbuf bytes.Buffer
+	s, err := NewSink(&mbuf, &tbuf, Config{SampleEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := tbuf.String()
+	if err := s.Finish("late", sinkObserver(s, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if tbuf.String() != before || mbuf.Len() != 0 {
+		t.Error("Finish after Close wrote to the shared files")
 	}
 }

@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Sink fans a sequence of simulation runs into shared output files: a
@@ -11,14 +13,25 @@ import (
 // holds one Sink per invocation and attaches an Observer to every
 // simulation it launches.
 //
+// Sink is safe for concurrent use: the parallel harness finishes runs
+// from many goroutines. Each run's metrics lines are buffered and
+// flushed as one atomic write, and its trace events are appended under
+// the sink lock, so concurrent runs never interleave inside each
+// other's records. Finish is idempotent per run key — a retried or
+// duplicated completion records nothing the second time.
+//
 // A nil *Sink is fully disabled: Observer returns nil (which in turn
 // disables sampling and tracing inside the simulator) and Finish/Close do
 // nothing, so the harness carries no conditionals.
 type Sink struct {
-	cfg     Config
+	cfg Config
+
+	mu      sync.Mutex
 	metrics io.Writer
 	trace   *TraceWriter
 	runs    int
+	done    map[string]bool
+	closed  bool
 }
 
 // NewSink builds a sink. metrics and trace may each be nil to disable
@@ -27,7 +40,7 @@ func NewSink(metrics, trace io.Writer, cfg Config) (*Sink, error) {
 	if metrics == nil && trace == nil {
 		return nil, nil
 	}
-	s := &Sink{cfg: cfg, metrics: metrics}
+	s := &Sink{cfg: cfg, metrics: metrics, done: make(map[string]bool)}
 	if metrics == nil {
 		s.cfg.SampleEvery = 0
 	}
@@ -56,14 +69,29 @@ func (s *Sink) Observer() *Observer {
 }
 
 // Finish flushes one completed run's observer into the shared files,
-// tagging its metrics lines and trace process with the run key.
+// tagging its metrics lines and trace process with the run key. A key
+// that was already recorded (or a Finish after Close) is a no-op, so
+// memoised runs are recorded exactly once, under the key of their first
+// completed execution.
 func (s *Sink) Finish(runKey string, o *Observer) error {
 	if s == nil || o == nil {
 		return nil
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.done[runKey] {
+		return nil
+	}
+	// Mark before writing: a failed write aborts the harness, and a
+	// retry must not append a second partial record to the shared files.
+	s.done[runKey] = true
 	if s.metrics != nil && o.Sampler != nil {
+		var buf bytes.Buffer
 		meta := map[string]string{"run": runKey}
-		if err := o.Sampler.WriteJSONL(s.metrics, meta); err != nil {
+		if err := o.Sampler.WriteJSONL(&buf, meta); err != nil {
+			return fmt.Errorf("obs: metrics for %s: %w", runKey, err)
+		}
+		if _, err := s.metrics.Write(buf.Bytes()); err != nil {
 			return fmt.Errorf("obs: metrics for %s: %w", runKey, err)
 		}
 	}
@@ -76,10 +104,15 @@ func (s *Sink) Finish(runKey string, o *Observer) error {
 	return nil
 }
 
-// Close finalizes the trace file's JSON array.
+// Close finalizes the trace file's JSON array. Later Finish calls are
+// no-ops, so stragglers from an aborted parallel experiment cannot write
+// past the closing bracket.
 func (s *Sink) Close() error {
 	if s == nil {
 		return nil
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
 	return s.trace.Close()
 }

@@ -64,12 +64,16 @@ func Mean(xs []float64) float64 {
 type Histogram struct {
 	Count   uint64
 	Sum     uint64
+	Min     uint64 // smallest sample; meaningful only when Count > 0
 	Max     uint64
 	Buckets [65]uint64
 }
 
 // Add records one sample.
 func (h *Histogram) Add(v uint64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
 	h.Count++
 	h.Sum += v
 	if v > h.Max {
@@ -88,6 +92,9 @@ func (h *Histogram) Avg() float64 {
 
 // Merge folds other into h.
 func (h *Histogram) Merge(other *Histogram) {
+	if other.Count > 0 && (h.Count == 0 || other.Min < h.Min) {
+		h.Min = other.Min
+	}
 	h.Count += other.Count
 	h.Sum += other.Sum
 	if other.Max > h.Max {
@@ -99,8 +106,14 @@ func (h *Histogram) Merge(other *Histogram) {
 }
 
 // Percentile estimates the p-th percentile (p in [0,100]) by locating the
-// bucket containing the rank and interpolating linearly inside it. The
-// result never exceeds Max, and an empty histogram reports 0.
+// bucket containing the rank and interpolating linearly inside it. Bucket
+// i spans [2^(i-1), 2^i), so the raw interpolation can land outside the
+// observed sample range at the edge buckets — e.g. a histogram of all-10s
+// would interpolate past 10 inside [8,16), and one of all-3s would start
+// below 3 inside [2,4). The result is therefore clamped into [Min, Max],
+// which also makes single-valued histograms exact. A rank landing in
+// bucket 0 is exactly the value 0 (only Add(0) populates it, since
+// bits.Len64(0) == 0), and an empty histogram reports 0.
 func (h *Histogram) Percentile(p float64) float64 {
 	if h.Count == 0 {
 		return 0
@@ -130,6 +143,9 @@ func (h *Histogram) Percentile(p float64) float64 {
 		lo := float64(uint64(1) << (i - 1))
 		frac := (target - (cum - float64(n))) / float64(n)
 		v := lo + frac*lo // bucket spans [lo, 2*lo)
+		if v < float64(h.Min) {
+			v = float64(h.Min)
+		}
 		if v > float64(h.Max) {
 			v = float64(h.Max)
 		}

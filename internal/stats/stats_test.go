@@ -2,6 +2,8 @@ package stats
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -212,5 +214,117 @@ func TestTableCSV(t *testing.T) {
 	}
 	if tab.Title() != "T" {
 		t.Errorf("Title = %q", tab.Title())
+	}
+}
+
+// exactPercentile mirrors Percentile's rank definition over the raw
+// samples: the ceil(p/100*n)-th smallest (1-indexed, min 1).
+func exactPercentile(sorted []uint64, p float64) uint64 {
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TestHistogramPercentileProperty compares Percentile against the exact
+// percentile of generated sample sets. The log2 buckets guarantee at most
+// one power-of-two of error for nonzero values, results always stay
+// inside the observed [Min, Max] range, and a rank landing in bucket 0
+// reports exactly 0 (only zero samples live there).
+func TestHistogramPercentileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	gens := map[string]func(i int) uint64{
+		"uniform":    func(int) uint64 { return uint64(rng.Intn(1 << 20)) },
+		"powers":     func(int) uint64 { return uint64(1) << uint(rng.Intn(30)) },
+		"constant":   func(int) uint64 { return 10 },
+		"ones":       func(int) uint64 { return 1 },
+		"heavy-tail": func(int) uint64 { return uint64(rng.Intn(8)) * uint64(rng.Intn(1<<16)) },
+		"with-zeros": func(i int) uint64 {
+			if i%3 == 0 {
+				return 0
+			}
+			return uint64(1 + rng.Intn(1000))
+		},
+	}
+	ps := []float64{0, 1, 10, 25, 50, 75, 90, 95, 99, 100}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			var h Histogram
+			samples := make([]uint64, 500)
+			for i := range samples {
+				samples[i] = gen(i)
+				h.Add(samples[i])
+			}
+			sorted := append([]uint64(nil), samples...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			if h.Min != sorted[0] || h.Max != sorted[len(sorted)-1] {
+				t.Fatalf("Min/Max = %d/%d, want %d/%d", h.Min, h.Max, sorted[0], sorted[len(sorted)-1])
+			}
+			for _, p := range ps {
+				got := h.Percentile(p)
+				exact := exactPercentile(sorted, p)
+				if got < float64(h.Min) || got > float64(h.Max) {
+					t.Errorf("P%v = %v outside sample range [%d, %d]", p, got, h.Min, h.Max)
+				}
+				if exact == 0 {
+					if got != 0 {
+						t.Errorf("P%v = %v, want exactly 0 (zero-valued rank)", p, got)
+					}
+					continue
+				}
+				if got == 0 {
+					t.Errorf("P%v = 0, want ~%d (nonzero rank must not report 0)", p, exact)
+					continue
+				}
+				if ratio := got / float64(exact); ratio < 0.5 || ratio > 2 {
+					t.Errorf("P%v = %v, exact %d: off by more than one power of two", p, got, exact)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramPercentileSingleValue pins the regression the Min clamp
+// fixes: a histogram of identical samples must report that value exactly
+// for every percentile, not an interpolated point elsewhere in its
+// power-of-two bucket.
+func TestHistogramPercentileSingleValue(t *testing.T) {
+	for _, v := range []uint64{1, 3, 10, 1000} {
+		var h Histogram
+		for i := 0; i < 50; i++ {
+			h.Add(v)
+		}
+		for _, p := range []float64{0, 50, 99, 100} {
+			if got := h.Percentile(p); got != float64(v) {
+				t.Errorf("all-%d histogram: P%v = %v, want %d", v, p, got, v)
+			}
+		}
+	}
+}
+
+func TestHistogramMinTracking(t *testing.T) {
+	var h Histogram
+	h.Add(7)
+	h.Add(3)
+	h.Add(100)
+	if h.Min != 3 {
+		t.Errorf("Min = %d, want 3", h.Min)
+	}
+	var other Histogram
+	other.Add(2)
+	h.Merge(&other)
+	if h.Min != 2 {
+		t.Errorf("merged Min = %d, want 2", h.Min)
+	}
+	var empty Histogram
+	h.Merge(&empty)
+	if h.Min != 2 {
+		t.Errorf("merging an empty histogram changed Min to %d", h.Min)
+	}
+	var fresh Histogram
+	fresh.Merge(&h)
+	if fresh.Min != 2 {
+		t.Errorf("merge into empty: Min = %d, want 2", fresh.Min)
 	}
 }
