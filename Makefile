@@ -1,13 +1,23 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-parallel
+.PHONY: check build test vet race chaos bench bench-parallel
 
 # The full gate used before committing: vet, build, race-enabled tests
-# (including the scaled-down parallel-harness sweep; see harness_test.go).
+# (including the scaled-down parallel-harness sweep; see harness_test.go),
+# then the fault-injection suite.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) chaos
+
+# Fault-injection suite: injected livelocks, dropped completions, and
+# corrupted stride tables must be caught by the watchdog / invariant
+# checker (internal/faults), and a poisoned run must degrade to ERR
+# cells without disturbing its siblings (internal/harness).
+chaos:
+	$(GO) test -timeout 10m -run 'Chaos|Stalled|Dropped|Corrupt|CleanRun|Poisoned|CrashDump|Taxonomy' \
+		./internal/faults/... ./internal/harness/...
 
 build:
 	$(GO) build ./...

@@ -19,10 +19,16 @@
 //	-metrics FILE   write per-epoch time series as JSONL (one line per run per epoch)
 //	-trace FILE     write a Chrome trace-event JSON (load in Perfetto / chrome://tracing)
 //	-sample N       epoch length in cycles for -metrics sampling (default 10000)
+//	-crashdir DIR   write a per-run crash-dump bundle for every failed simulation
+//
+// Exit codes: 0 all experiments clean; 1 fatal error (nothing usable was
+// produced); 2 usage error; 3 degraded (every experiment printed its
+// tables, but some runs failed and rendered as ERR cells).
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -37,7 +43,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: mtpref [-waves N] [-full] [-j N] [-csv DIR] [-metrics FILE] [-trace FILE] [-sample N] {list | run <id>... | all}\n")
+	fmt.Fprintf(os.Stderr, "usage: mtpref [-waves N] [-full] [-j N] [-csv DIR] [-metrics FILE] [-trace FILE] [-sample N] [-crashdir DIR] {list | run <id>... | all}\n")
 	os.Exit(2)
 }
 
@@ -55,6 +61,7 @@ type cliFlags struct {
 	metricsPath string
 	tracePath   string
 	sample      uint64
+	crashDir    string
 }
 
 // defineFlags registers the mtpref flags on fs and returns the value
@@ -68,6 +75,7 @@ func defineFlags(fs *flag.FlagSet) *cliFlags {
 	fs.StringVar(&c.metricsPath, "metrics", "", "JSONL file for per-epoch metric samples")
 	fs.StringVar(&c.tracePath, "trace", "", "Chrome trace-event JSON file")
 	fs.Uint64Var(&c.sample, "sample", 10_000, "epoch length in cycles for -metrics sampling")
+	fs.StringVar(&c.crashDir, "crashdir", "", "directory for per-run crash-dump bundles on failure")
 	return c
 }
 
@@ -136,7 +144,8 @@ func main() {
 	}
 
 	subset := !cli.full
-	cfg := harness.Config{Waves: cli.waves, Subset: &subset, Workers: cli.workers}
+	cfg := harness.Config{Waves: cli.waves, Subset: &subset, Workers: cli.workers,
+		CrashDir: cli.crashDir}
 
 	mf, mw := newOutFile(cli.metricsPath)
 	tf, tw := newOutFile(cli.tracePath)
@@ -146,6 +155,23 @@ func main() {
 	}
 	cfg.Obs = sink
 
+	// Experiments degraded by failed runs (ERR cells) are collected and
+	// reported after everything else has had its chance to complete; a
+	// nil-table failure aborts immediately.
+	var degraded []error
+	runExp := func(e *harness.Experiment) {
+		err := runOne(e, cfg, cli.csvDir)
+		if err == nil {
+			return
+		}
+		var se *harness.SweepError
+		if errors.As(err, &se) {
+			degraded = append(degraded, err)
+			return
+		}
+		fatal(err)
+	}
+
 	switch args[0] {
 	case "list":
 		for _, e := range harness.Experiments() {
@@ -153,9 +179,7 @@ func main() {
 		}
 	case "all":
 		for _, e := range harness.Experiments() {
-			if err := runOne(&e, cfg, cli.csvDir); err != nil {
-				fatal(err)
-			}
+			runExp(&e)
 		}
 	case "run":
 		if len(args) < 2 {
@@ -166,9 +190,7 @@ func main() {
 			if e == nil {
 				fatal(fmt.Sprintf("unknown experiment %q (try 'mtpref list')", id))
 			}
-			if err := runOne(e, cfg, cli.csvDir); err != nil {
-				fatal(err)
-			}
+			runExp(e)
 		}
 	default:
 		usage()
@@ -179,12 +201,24 @@ func main() {
 	}
 	mf.close()
 	tf.close()
+
+	if len(degraded) > 0 {
+		fmt.Fprintf(os.Stderr, "mtpref: %d experiment(s) had failed runs:\n", len(degraded))
+		for _, err := range degraded {
+			fmt.Fprintf(os.Stderr, "  %v\n", err)
+		}
+		os.Exit(3)
+	}
 }
 
+// runOne runs one experiment and prints its tables. A degraded sweep
+// (tables plus a *harness.SweepError) still prints everything — failed
+// cells show as ERR — and returns the error for the exit-code summary;
+// only a nil-table failure produced nothing printable.
 func runOne(e *harness.Experiment, cfg harness.Config, csvDir string) error {
 	start := time.Now()
 	tables, err := e.Run(cfg)
-	if err != nil {
+	if err != nil && tables == nil {
 		return fmt.Errorf("%s: %w", e.ID, err)
 	}
 	fmt.Printf("== %s (%s) ==\n", e.ID, e.PaperRef)
@@ -205,6 +239,12 @@ func runOne(e *harness.Experiment, cfg harness.Config, csvDir string) error {
 		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 			return err
 		}
+	}
+	if err != nil {
+		// "with failed runs" keeps the CI determinism gate's
+		// "completed in ..." normalisation from matching a degraded run.
+		fmt.Printf("[%s completed with failed runs in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		return fmt.Errorf("%s: %w", e.ID, err)
 	}
 	fmt.Printf("[%s completed in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	return nil

@@ -59,6 +59,19 @@ func TestParseFlagsIntermixed(t *testing.T) {
 	}
 }
 
+func TestParseCrashDir(t *testing.T) {
+	cli, pos, err := parse(t, []string{"run", "table3", "-crashdir", "/tmp/dumps"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pos, []string{"run", "table3"}) {
+		t.Errorf("positionals = %v", pos)
+	}
+	if cli.crashDir != "/tmp/dumps" {
+		t.Errorf("crashDir = %q, want /tmp/dumps", cli.crashDir)
+	}
+}
+
 func TestParseDefaults(t *testing.T) {
 	cli, pos, err := parse(t, []string{"list"})
 	if err != nil {
@@ -67,7 +80,7 @@ func TestParseDefaults(t *testing.T) {
 	if !reflect.DeepEqual(pos, []string{"list"}) {
 		t.Errorf("positionals = %v", pos)
 	}
-	if cli.waves != 2 || cli.sample != 10_000 || cli.full || cli.csvDir != "" {
+	if cli.waves != 2 || cli.sample != 10_000 || cli.full || cli.csvDir != "" || cli.crashDir != "" {
 		t.Errorf("defaults = %+v", cli)
 	}
 	if cli.workers != runtime.GOMAXPROCS(0) {

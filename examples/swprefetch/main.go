@@ -30,7 +30,10 @@ func study(name string, scale int) {
 
 	for _, mode := range []swpref.Mode{swpref.Register, swpref.Stride, swpref.IP, swpref.MTSWP} {
 		// Show what the transform does to the kernel before running it.
-		transformed, st := swpref.Apply(spec, mode, swpref.Options{})
+		transformed, st, err := swpref.Apply(spec, mode, swpref.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		r, err := core.Run(core.Options{Workload: spec, Software: mode})
 		if err != nil {
 			log.Fatal(err)

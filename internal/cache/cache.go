@@ -8,7 +8,12 @@
 // without ever serving a demand.
 package cache
 
-import "mtprefetch/internal/obs"
+import (
+	"fmt"
+
+	"mtprefetch/internal/obs"
+	"mtprefetch/internal/simerr"
+)
 
 // Stats are the cache's lifetime counters. Accesses == Hits + Misses by
 // construction; the invariant is asserted by the cross-component
@@ -225,4 +230,25 @@ func (c *Cache) Occupancy() int {
 		}
 	}
 	return n
+}
+
+// CheckInvariants verifies line accounting (core.Options.Checks): the
+// occupancy counter must match the number of valid lines — a fill or
+// invalidation that loses track of a line breaks it — and the demand
+// lookup counters must satisfy Accesses == Hits + Misses.
+func (c *Cache) CheckInvariants(cycle uint64, core int) error {
+	if valid := c.Occupancy(); valid != c.occupied {
+		return &simerr.InvariantError{
+			Component: "pfcache", Name: "entry-accounting", Cycle: cycle,
+			Detail: fmt.Sprintf("core %d: occupancy counter %d but %d valid lines", core, c.occupied, valid),
+		}
+	}
+	if c.stats.Accesses != c.stats.Hits+c.stats.Misses {
+		return &simerr.InvariantError{
+			Component: "pfcache", Name: "lookup-accounting", Cycle: cycle,
+			Detail: fmt.Sprintf("core %d: %d accesses != %d hits + %d misses",
+				core, c.stats.Accesses, c.stats.Hits, c.stats.Misses),
+		}
+	}
+	return nil
 }

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mtprefetch/internal/simerr"
+)
+
+// The error taxonomy. Every failure a simulation can report falls into
+// one of three families, each matchable with errors.Is / errors.As:
+//
+//   - *OptionError: the caller asked for a nonsensical machine or run
+//     (nil workload, invalid config, watchdog wider than MaxCycles).
+//     Returned by New before any cycle executes.
+//   - *LivelockError (wraps ErrLivelock): the forward-progress watchdog
+//     saw no warp-instruction retire and no memory fill arrive for a
+//     whole window. Carries a DiagSnapshot of the stuck machine.
+//   - *InvariantError (wraps ErrInvariant): an opt-in conservation check
+//     (Options.Checks) found corrupted bookkeeping — leaked MRQ entries,
+//     non-conserved NoC flits, unbalanced scoreboard releases, or
+//     prefetch-cache lines lost track of.
+//
+// The harness adds a fourth, *harness.RunError, wrapping any of the
+// above (or a recovered panic) with the run's identity.
+
+// ErrLivelock is the sentinel matched by errors.Is when the watchdog
+// aborts a run for lack of forward progress.
+var ErrLivelock = errors.New("no forward progress (livelock)")
+
+// ErrInvariant re-exports simerr.ErrInvariant so callers can match
+// invariant failures without importing the leaf package.
+var ErrInvariant = simerr.ErrInvariant
+
+// InvariantError re-exports simerr.InvariantError; component packages
+// (smcore, mrq, noc, cache, swpref) return it directly.
+type InvariantError = simerr.InvariantError
+
+// OptionError reports a rejected Options field from New.
+type OptionError struct {
+	Field  string // the Options field at fault
+	Reason string // human-readable rejection, when Err is nil
+	Err    error  // underlying validation error, when one exists
+}
+
+// Error implements error.
+func (e *OptionError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("core: Options.%s: %v", e.Field, e.Err)
+	}
+	return fmt.Sprintf("core: Options.%s %s", e.Field, e.Reason)
+}
+
+// Unwrap exposes the underlying validation error to errors.Is/As.
+func (e *OptionError) Unwrap() error { return e.Err }
+
+// LivelockError is the watchdog's abort: no core retired a warp
+// instruction and no memory fill was delivered for Window cycles.
+type LivelockError struct {
+	Benchmark string
+	Cycle     uint64 // cycle at which the watchdog fired
+	Window    uint64 // progress window that elapsed without progress
+	Snapshot  DiagSnapshot
+}
+
+// Error implements error.
+func (e *LivelockError) Error() string {
+	live := 0
+	mrq := 0
+	for _, c := range e.Snapshot.Cores {
+		live += c.LiveWarps
+		mrq += c.MRQOutstanding
+	}
+	return fmt.Sprintf("core: %s livelocked at cycle %d: no instruction retired and no fill delivered for %d cycles (%d live warps, %d MRQ entries, %d NoC messages in flight)",
+		e.Benchmark, e.Cycle, e.Window, live, mrq, e.Snapshot.NoCInFlight)
+}
+
+// Unwrap makes errors.Is(err, ErrLivelock) true.
+func (e *LivelockError) Unwrap() error { return ErrLivelock }

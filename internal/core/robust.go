@@ -1,0 +1,98 @@
+package core
+
+import (
+	"mtprefetch/internal/memreq"
+	"mtprefetch/internal/smcore"
+)
+
+// This file holds the robustness layer around the Run loop: the
+// forward-progress watchdog, the opt-in invariant sweeps, fault
+// injection hooks, and the diagnostic snapshot attached to failures.
+
+// DiagSnapshot captures the machine state at the moment of a failure;
+// it is embedded in LivelockError and serialised into crash dumps.
+type DiagSnapshot struct {
+	Benchmark        string        `json:"benchmark"`
+	Cycle            uint64        `json:"cycle"`
+	Cores            []smcore.Diag `json:"cores"`
+	NoCInFlight      int           `json:"noc_in_flight"`
+	DRAMBackpressure int           `json:"dram_backpressure"` // requests stalled behind full DRAM queues
+	DRAMQueues       []int         `json:"dram_queues"`       // per-channel request-queue depth
+}
+
+// Diag snapshots the live machine: per-core warp states and MRQ
+// occupancy, NoC in-flight count, and DRAM queue depths.
+func (s *Simulator) Diag() DiagSnapshot {
+	d := DiagSnapshot{
+		Benchmark:        s.spec.Name,
+		Cycle:            s.cycle,
+		NoCInFlight:      s.net.InFlight(),
+		DRAMBackpressure: len(s.pending),
+	}
+	for _, c := range s.cores {
+		d.Cores = append(d.Cores, c.Diag())
+	}
+	for ch := 0; ch < s.cfg.DRAMChannels; ch++ {
+		d.DRAMQueues = append(d.DRAMQueues, s.mem.QueueLen(ch))
+	}
+	return d
+}
+
+// ResponseAction is a FaultInjector's verdict on one memory response.
+type ResponseAction uint8
+
+const (
+	// DeliverResponse lets the fill through untouched.
+	DeliverResponse ResponseAction = iota
+	// DropResponse discards the fill entirely: the MRQ entry stays
+	// allocated and its waiters stay blocked — the lost-message fault.
+	DropResponse
+	// DropCompletion frees the MRQ entry but never wakes the waiting
+	// warps — the lost-wakeup fault the scoreboard-balance check catches.
+	DropCompletion
+)
+
+// FaultInjector perturbs a run for chaos testing (internal/faults
+// provides implementations). Both methods are called on the hot loop,
+// so implementations must be cheap; a nil injector costs two nil
+// checks per cycle.
+type FaultInjector interface {
+	// StallCore reports whether the given core's issue stage should be
+	// suppressed this cycle.
+	StallCore(cycle uint64, core int) bool
+	// OnResponse inspects a memory response about to be delivered and
+	// decides its fate.
+	OnResponse(cycle uint64, r *memreq.Request) ResponseAction
+}
+
+// checkProgress is the watchdog: called every watchWindow cycles, it
+// compares retired warp-instructions and delivered fills against the
+// previous window. Neither moving means no warp can ever become ready
+// again — the machine is livelocked, and MaxCycles (default 500M) would
+// burn hours before the timeout notices.
+func (s *Simulator) checkProgress(cyc uint64) error {
+	instr := s.reg.Sum("smcore.instructions")
+	if instr == s.lastInstr && s.fills == s.lastFills {
+		return &LivelockError{
+			Benchmark: s.spec.Name,
+			Cycle:     cyc,
+			Window:    s.watchWindow,
+			Snapshot:  s.Diag(),
+		}
+	}
+	s.lastInstr = instr
+	s.lastFills = s.fills
+	return nil
+}
+
+// checkInvariants runs the opt-in conservation sweep (Options.Checks):
+// per-core MRQ entry accounting, prefetch-cache line accounting,
+// scoreboard release balance, and NoC flit conservation.
+func (s *Simulator) checkInvariants(cyc uint64) error {
+	for _, c := range s.cores {
+		if err := c.CheckInvariants(cyc); err != nil {
+			return err
+		}
+	}
+	return s.net.CheckInvariants(cyc)
+}

@@ -18,7 +18,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"mtprefetch/internal/config"
@@ -62,6 +61,27 @@ type Options struct {
 	// MaxCycles caps the simulation (default 500M) so configuration bugs
 	// fail loudly instead of hanging.
 	MaxCycles uint64
+	// WatchdogWindow is the forward-progress window: if no warp
+	// instruction retires and no memory fill is delivered for this many
+	// cycles, Run aborts with a LivelockError instead of spinning until
+	// MaxCycles. Zero selects the default, min(1M, MaxCycles). Must not
+	// exceed MaxCycles.
+	WatchdogWindow uint64
+	// NoWatchdog disables the forward-progress watchdog entirely (for
+	// chaos tests that want the raw MaxCycles timeout). Setting it
+	// together with a non-zero WatchdogWindow is rejected.
+	NoWatchdog bool
+	// Checks enables the periodic invariant sweep: MRQ entry accounting,
+	// NoC flit conservation, scoreboard release balance, and
+	// prefetch-cache line accounting. Off by default — the sweep walks
+	// every core's state, so it is for debugging and chaos tests.
+	Checks bool
+	// CheckEvery is the invariant-sweep period in cycles (default 65536
+	// when Checks is set). Non-zero without Checks is rejected.
+	CheckEvery uint64
+	// Inject, when non-nil, perturbs the run for chaos testing; see
+	// FaultInjector.
+	Inject FaultInjector
 	// Obs attaches an observability bundle (epoch sampler and/or event
 	// tracer; see obs.New). Nil runs with just the internal metrics
 	// registry, which costs nothing on the simulation's hot path.
@@ -154,6 +174,16 @@ type Simulator struct {
 	reg     *obs.Registry // always non-nil; end-of-run aggregation reads it
 	sampler *obs.Sampler  // nil unless Options.Obs enabled sampling
 
+	// Robustness state (see robust.go).
+	inj         FaultInjector
+	watchWindow uint64 // 0 disables the watchdog
+	nextWatch   uint64
+	fills       uint64 // memory fills delivered to cores
+	lastInstr   uint64 // watchdog: instructions at last window boundary
+	lastFills   uint64 // watchdog: fills at last window boundary
+	checkEvery  uint64 // 0 disables the invariant sweep
+	nextCheck   uint64
+
 	cycle uint64
 }
 
@@ -161,25 +191,53 @@ type Simulator struct {
 // consistency tests.
 func (s *Simulator) Registry() *obs.Registry { return s.reg }
 
-// New builds a simulator; see Options.
+// defaultWatchdogWindow is the forward-progress window when the caller
+// leaves Options.WatchdogWindow zero; it is clamped to MaxCycles so
+// short capped runs keep their plain timeout semantics.
+const defaultWatchdogWindow = 1_000_000
+
+// defaultCheckEvery is the invariant-sweep period when Options.Checks
+// is set without an explicit CheckEvery.
+const defaultCheckEvery = 65_536
+
+// New builds a simulator; see Options. Rejected options are reported as
+// *OptionError with the offending field named.
 func New(o Options) (*Simulator, error) {
 	if o.Workload == nil {
-		return nil, errors.New("core: Options.Workload is required")
+		return nil, &OptionError{Field: "Workload", Reason: "is required"}
 	}
 	if o.Config == nil {
 		o.Config = config.Baseline()
 	}
 	if err := o.Config.Validate(); err != nil {
-		return nil, err
+		return nil, &OptionError{Field: "Config", Err: err}
 	}
 	if o.MaxCycles == 0 {
 		o.MaxCycles = 500_000_000
 	}
+	if o.NoWatchdog && o.WatchdogWindow > 0 {
+		return nil, &OptionError{Field: "WatchdogWindow",
+			Reason: "set together with NoWatchdog; pick one"}
+	}
+	if o.WatchdogWindow > o.MaxCycles {
+		return nil, &OptionError{Field: "WatchdogWindow",
+			Reason: fmt.Sprintf("(%d) exceeds MaxCycles (%d): the watchdog could never fire", o.WatchdogWindow, o.MaxCycles)}
+	}
+	if o.CheckEvery > 0 && !o.Checks {
+		return nil, &OptionError{Field: "CheckEvery",
+			Reason: "set without Checks; invariant sweeps are opt-in"}
+	}
+	if o.Checks && o.CheckEvery == 0 {
+		o.CheckEvery = defaultCheckEvery
+	}
 	spec := o.Workload
 	if err := spec.Validate(); err != nil {
-		return nil, err
+		return nil, &OptionError{Field: "Workload", Err: err}
 	}
-	spec, _ = swpref.Apply(spec, o.Software, o.SoftwareOptions)
+	spec, _, err := swpref.Apply(spec, o.Software, o.SoftwareOptions)
+	if err != nil {
+		return nil, &OptionError{Field: "Software", Err: err}
+	}
 
 	cfg := o.Config
 	s := &Simulator{
@@ -204,6 +262,21 @@ func New(o Options) (*Simulator, error) {
 		}),
 		disp: &dispatcher{total: spec.Blocks},
 		opts: o,
+		inj:  o.Inject,
+	}
+	if !o.NoWatchdog {
+		s.watchWindow = o.WatchdogWindow
+		if s.watchWindow == 0 {
+			s.watchWindow = defaultWatchdogWindow
+			if s.watchWindow > o.MaxCycles {
+				s.watchWindow = o.MaxCycles
+			}
+		}
+		s.nextWatch = s.watchWindow
+	}
+	if o.Checks {
+		s.checkEvery = o.CheckEvery
+		s.nextCheck = s.checkEvery
 	}
 	for i := 0; i < cfg.NumCores; i++ {
 		var hwp prefetch.Prefetcher
@@ -268,10 +341,21 @@ func (s *Simulator) Run() (*Result, error) {
 	for ; s.cycle < s.opts.MaxCycles; s.cycle++ {
 		cyc := s.cycle
 
-		// 1. Memory responses reach their cores.
+		// 1. Memory responses reach their cores (optionally perturbed by
+		// the fault injector).
 		respBuf = s.net.ArrivedResponses(cyc, respBuf[:0])
 		for _, r := range respBuf {
+			if s.inj != nil {
+				switch s.inj.OnResponse(cyc, r) {
+				case DropResponse:
+					continue
+				case DropCompletion:
+					s.cores[r.CoreID].DropFill(r)
+					continue
+				}
+			}
 			s.cores[r.CoreID].Fill(cyc, r)
+			s.fills++
 		}
 
 		// 2. Requests reach the DRAM controllers (with backpressure).
@@ -299,7 +383,12 @@ func (s *Simulator) Run() (*Result, error) {
 
 		// 4. Cores issue.
 		for _, c := range s.cores {
-			c.Cycle(cyc)
+			if s.inj != nil && s.inj.StallCore(cyc, c.ID()) {
+				continue
+			}
+			if err := c.Cycle(cyc); err != nil {
+				return nil, err
+			}
 		}
 
 		// 5. Cores inject MRQ traffic, round-robin, up to the NOC limit.
@@ -310,7 +399,21 @@ func (s *Simulator) Run() (*Result, error) {
 			s.sampler.Tick(cyc)
 		}
 
-		// 7. Termination.
+		// 7. Robustness: invariant sweep and forward-progress watchdog.
+		if s.checkEvery != 0 && cyc >= s.nextCheck {
+			if err := s.checkInvariants(cyc); err != nil {
+				return nil, err
+			}
+			s.nextCheck = cyc + s.checkEvery
+		}
+		if s.watchWindow != 0 && cyc >= s.nextWatch {
+			if err := s.checkProgress(cyc); err != nil {
+				return nil, err
+			}
+			s.nextWatch = cyc + s.watchWindow
+		}
+
+		// 8. Termination.
 		if cyc%64 == 0 && s.done() {
 			res := s.collect()
 			return res, nil

@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"mtprefetch/internal/core"
+	"mtprefetch/internal/prefetch"
+	"mtprefetch/internal/workload"
+)
+
+// chaosSpec is a small grid that still keeps several cores busy with
+// in-flight memory for thousands of cycles.
+func chaosSpec(t *testing.T) *workload.Spec {
+	t.Helper()
+	s := workload.ByName("stream")
+	if s == nil {
+		t.Fatal("workload suite missing stream")
+	}
+	return s.Scaled(16)
+}
+
+// TestStalledCoreTripsWatchdog freezes core 0's issue stage after it has
+// taken a block. Its warps can never retire, so once the other cores
+// drain, nothing retires and nothing fills — the watchdog must abort
+// far sooner than the MaxCycles timeout would.
+func TestStalledCoreTripsWatchdog(t *testing.T) {
+	const maxCycles = 500_000_000
+	o := core.Options{
+		Workload:  chaosSpec(t),
+		MaxCycles: maxCycles,
+		Inject:    StallIssue(0, 1000),
+	}
+	_, err := core.Run(o)
+	if !errors.Is(err, core.ErrLivelock) {
+		t.Fatalf("stalled core returned %v, want ErrLivelock", err)
+	}
+	var ll *core.LivelockError
+	if !errors.As(err, &ll) {
+		t.Fatalf("error %v (%T) is not a *LivelockError", err, err)
+	}
+	if ll.Cycle >= maxCycles/100 {
+		t.Fatalf("watchdog fired at cycle %d, want < %d (MaxCycles/100)", ll.Cycle, maxCycles/100)
+	}
+	if len(ll.Snapshot.Cores) == 0 {
+		t.Fatal("livelock snapshot has no per-core diagnostics")
+	}
+	live := 0
+	for _, d := range ll.Snapshot.Cores {
+		live += d.LiveWarps
+	}
+	if live == 0 {
+		t.Fatal("livelock snapshot shows no live warps; the stall faulted nothing")
+	}
+}
+
+// TestDroppedResponseTripsWatchdog discards one memory response: the
+// waiting warp sleeps on its scoreboard forever and the watchdog must
+// notice once everything else drains.
+func TestDroppedResponseTripsWatchdog(t *testing.T) {
+	o := core.Options{
+		Workload:       chaosSpec(t),
+		MaxCycles:      50_000_000,
+		WatchdogWindow: 200_000,
+		Inject:         DropNthResponse(1),
+	}
+	_, err := core.Run(o)
+	if !errors.Is(err, core.ErrLivelock) {
+		t.Fatalf("dropped response returned %v, want ErrLivelock", err)
+	}
+}
+
+// TestDroppedCompletionTripsInvariant frees an MRQ entry without waking
+// its waiters; the opt-in scoreboard-balance check must flag the
+// imbalance long before the watchdog window elapses.
+func TestDroppedCompletionTripsInvariant(t *testing.T) {
+	o := core.Options{
+		Workload:   chaosSpec(t),
+		MaxCycles:  50_000_000,
+		Checks:     true,
+		CheckEvery: 512,
+		Inject:     DropNthCompletion(1),
+	}
+	_, err := core.Run(o)
+	if !errors.Is(err, core.ErrInvariant) {
+		t.Fatalf("dropped completion returned %v, want ErrInvariant", err)
+	}
+	var ie *core.InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("error %v (%T) is not an *InvariantError", err, err)
+	}
+	if ie.Name != "scoreboard-balance" {
+		t.Fatalf("invariant %q tripped, want scoreboard-balance (%v)", ie.Name, err)
+	}
+}
+
+// TestCorruptStrideIsAbsorbed corrupts every stride-prefetch candidate
+// after a warm-up: the machine must absorb the garbage (wasted
+// bandwidth, polluted cache) and still finish with clean accounting
+// under the full invariant sweep.
+func TestCorruptStrideIsAbsorbed(t *testing.T) {
+	o := core.Options{
+		Workload:  chaosSpec(t),
+		MaxCycles: 50_000_000,
+		Checks:    true,
+		Hardware: func() prefetch.Prefetcher {
+			return &CorruptStride{
+				Inner: prefetch.NewStrideRPT(prefetch.StrideRPTOptions{WarpAware: true}),
+				After: 100,
+				Mask:  0xff << 20,
+			}
+		},
+	}
+	res, err := core.Run(o)
+	if err != nil {
+		t.Fatalf("corrupted stride table broke the run: %v", err)
+	}
+	if res.ProgInstructions == 0 {
+		t.Fatal("run completed without retiring instructions")
+	}
+}
+
+// TestCleanRunNoFalsePositives runs an unfaulted simulation with both
+// the watchdog and the invariant sweep enabled: neither may fire.
+func TestCleanRunNoFalsePositives(t *testing.T) {
+	o := core.Options{
+		Workload:   chaosSpec(t),
+		MaxCycles:  50_000_000,
+		Checks:     true,
+		CheckEvery: 1024,
+	}
+	res, err := core.Run(o)
+	if err != nil {
+		t.Fatalf("clean run failed under checks+watchdog: %v", err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("clean run reported zero cycles")
+	}
+}

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RunError wraps any failure of one memoised simulation — a rejected
+// configuration, a watchdog abort, an invariant violation, or a
+// recovered panic — with the run's identity, so a sweep-level report
+// can say which cell of which table died and why.
+type RunError struct {
+	Key         string // memoisation key ("hw/stream/pws+gs/false", ...)
+	Fingerprint string // human-readable options summary
+	Err         error  // the underlying error, when the run returned one
+	Panic       any    // the recovered panic value, when it panicked
+	Stack       []byte // goroutine stack at the panic site
+	DumpPath    string // crash-dump directory, when Config.CrashDir was set
+}
+
+// Error implements error.
+func (e *RunError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run %s [%s]: ", e.Key, e.Fingerprint)
+	if e.Panic != nil {
+		fmt.Fprintf(&b, "panic: %v", e.Panic)
+	} else {
+		b.WriteString(e.Err.Error())
+	}
+	if e.DumpPath != "" {
+		fmt.Fprintf(&b, " (crash dump: %s)", e.DumpPath)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the underlying error so errors.Is(err, core.ErrLivelock)
+// and friends see through the run wrapper. Panics have no inner error.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// SweepError aggregates every failed run of one experiment. The
+// experiment still returns its tables — failed cells render as ERR —
+// and this error reports the damage. Unwrap returns the individual
+// *RunErrors for errors.Is/As traversal.
+type SweepError struct {
+	Failed int // runs that failed
+	Total  int // runs the experiment submitted
+	Errs   []error
+}
+
+// Error implements error.
+func (e *SweepError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d of %d runs failed:", e.Failed, e.Total)
+	for _, err := range e.Errs {
+		fmt.Fprintf(&b, "\n  %v", err)
+	}
+	return b.String()
+}
+
+// Unwrap implements the multi-error form of errors.Is/As.
+func (e *SweepError) Unwrap() []error { return e.Errs }

@@ -69,21 +69,21 @@ func runTable3(c Config) ([]*stats.Table, error) {
 		pmems[i] = pmemF(r, s)
 	}
 	for i, s := range specs {
-		base, err := bases[i].wait()
-		if err != nil {
-			return nil, err
+		base, pm := bases[i].res(), pmems[i].res()
+		baseCPI, pmCPI := errCell(), errCell()
+		if base != nil {
+			baseCPI = base.CPI
 		}
-		pm, err := pmems[i].wait()
-		if err != nil {
-			return nil, err
+		if pm != nil {
+			pmCPI = pm.CPI
 		}
 		t.AddRow(s.Name, s.Suite, s.Class.String(),
 			fmt.Sprint(s.TotalWarps), fmt.Sprint(s.Blocks), fmt.Sprint(s.MaxBlocksPerCore),
-			stats.FormatFloat(base.CPI), stats.FormatFloat(pm.CPI),
+			fmtCell(baseCPI), fmtCell(pmCPI),
 			stats.FormatFloat(s.PaperBaseCPI), stats.FormatFloat(s.PaperPMemCPI),
 			fmt.Sprintf("%d/%d", s.DelStride, s.DelIP))
 	}
-	return []*stats.Table{t}, nil
+	return []*stats.Table{t}, r.failures()
 }
 
 func runTable4(c Config) ([]*stats.Table, error) {
@@ -98,23 +98,22 @@ func runTable4(c Config) ([]*stats.Table, error) {
 		rows[i] = row{r.baselineF(s), pmemF(r, s), r.hardwareF(s, mt.name, mt.make, false)}
 	}
 	for i, s := range specs {
-		base, err := rows[i].base.wait()
-		if err != nil {
-			return nil, err
+		base, pm, hw := rows[i].base.res(), rows[i].pmem.res(), rows[i].hw.res()
+		baseCPI, pmCPI, hwCPI := errCell(), errCell(), errCell()
+		if base != nil {
+			baseCPI = base.CPI
 		}
-		pm, err := rows[i].pmem.wait()
-		if err != nil {
-			return nil, err
+		if pm != nil {
+			pmCPI = pm.CPI
 		}
-		hw, err := rows[i].hw.wait()
-		if err != nil {
-			return nil, err
+		if hw != nil {
+			hwCPI = hw.CPI
 		}
 		t.AddRow(s.Name, s.Suite,
-			stats.FormatFloat(base.CPI), stats.FormatFloat(pm.CPI), stats.FormatFloat(hw.CPI),
+			fmtCell(baseCPI), fmtCell(pmCPI), fmtCell(hwCPI),
 			stats.FormatFloat(s.PaperBaseCPI), stats.FormatFloat(s.PaperPMemCPI))
 	}
-	return []*stats.Table{t}, nil
+	return []*stats.Table{t}, r.failures()
 }
 
 func runTable5(Config) ([]*stats.Table, error) {
@@ -152,41 +151,36 @@ func runFig8(c Config) ([]*stats.Table, error) {
 		rows[i] = row{r.baselineF(s), r.softwareF(s, swpref.MTSWP, false)}
 	}
 	for i, s := range specs {
-		base, err := rows[i].base.wait()
-		if err != nil {
-			return nil, err
+		base, pf := rows[i].base.res(), rows[i].pf.res()
+		norm, acc := errCell(), errCell()
+		if base != nil && pf != nil {
+			norm = stats.SafeDiv(pf.AvgDemandLatency, base.AvgDemandLatency)
+			acc = pf.Accuracy * 100
 		}
-		pf, err := rows[i].pf.wait()
-		if err != nil {
-			return nil, err
-		}
-		t.AddRowValues(s.Name,
-			stats.SafeDiv(pf.AvgDemandLatency, base.AvgDemandLatency),
-			pf.Accuracy*100)
+		t.AddRow(s.Name, fmtCell(norm), fmtCell(acc))
 	}
-	return []*stats.Table{t}, nil
+	return []*stats.Table{t}, r.failures()
 }
 
 // speedupMatrix waits for a baseline-per-row plus a futures matrix and
 // folds them into per-row speedup vectors, preserving submission order.
-func speedupMatrix(bases []*future, runs [][]*future) ([][]float64, error) {
+// Cells whose run (or baseline) failed are NaN, rendered as ERR.
+func speedupMatrix(bases []*future, runs [][]*future) [][]float64 {
 	matrix := make([][]float64, len(bases))
 	for i := range bases {
-		base, err := bases[i].wait()
-		if err != nil {
-			return nil, err
-		}
+		base := bases[i].res()
 		row := make([]float64, 0, len(runs[i]))
 		for _, f := range runs[i] {
-			res, err := f.wait()
-			if err != nil {
-				return nil, err
+			res := f.res()
+			if base == nil || res == nil {
+				row = append(row, errCell())
+				continue
 			}
 			row = append(row, res.Speedup(base))
 		}
 		matrix[i] = row
 	}
-	return matrix, nil
+	return matrix
 }
 
 // speedupTable assembles the standard bench/type/columns speedup table
@@ -197,20 +191,20 @@ func speedupTable(title string, specs []*workload.Spec, cols []string, matrix []
 	for i, s := range specs {
 		cells := []string{s.Name, s.Class.String()}
 		for _, v := range matrix[i] {
-			cells = append(cells, stats.FormatFloat(v))
+			cells = append(cells, fmtCell(v))
 		}
 		t.AddRow(cells...)
 	}
 	cells := []string{"geomean", ""}
 	for i := range cols {
-		cells = append(cells, stats.FormatFloat(geomeanColumn(matrix, i)))
+		cells = append(cells, fmtCell(geomeanColumn(matrix, i)))
 	}
 	t.AddRow(cells...)
 	return t
 }
 
 // swSpeedupTable renders one speedup column set for the software figures.
-func swSpeedupTable(r *runner, title string, modes []swpref.Mode, names []string, throttleLast bool) (*stats.Table, error) {
+func swSpeedupTable(r *runner, title string, modes []swpref.Mode, names []string, throttleLast bool) *stats.Table {
 	specs := suite()
 	bases := make([]*future, len(specs))
 	runs := make([][]*future, len(specs))
@@ -221,35 +215,25 @@ func swSpeedupTable(r *runner, title string, modes []swpref.Mode, names []string
 			runs[i] = append(runs[i], r.softwareF(s, m, throttle))
 		}
 	}
-	matrix, err := speedupMatrix(bases, runs)
-	if err != nil {
-		return nil, err
-	}
-	return speedupTable(title, specs, names, matrix), nil
+	return speedupTable(title, specs, names, speedupMatrix(bases, runs))
 }
 
 func runFig10(c Config) ([]*stats.Table, error) {
 	r := newRunner(c)
-	t, err := swSpeedupTable(r,
+	t := swSpeedupTable(r,
 		"Figure 10 — software prefetching speedup over no-prefetching baseline",
 		[]swpref.Mode{swpref.Register, swpref.Stride, swpref.IP, swpref.MTSWP},
 		[]string{"register", "stride", "ip", "stride+ip"}, false)
-	if err != nil {
-		return nil, err
-	}
-	return []*stats.Table{t}, nil
+	return []*stats.Table{t}, r.failures()
 }
 
 func runFig11(c Config) ([]*stats.Table, error) {
 	r := newRunner(c)
-	t, err := swSpeedupTable(r,
+	t := swSpeedupTable(r,
 		"Figure 11 — MT-SWP with adaptive prefetch throttling (speedup over baseline)",
 		[]swpref.Mode{swpref.Register, swpref.Stride, swpref.MTSWP, swpref.MTSWP},
 		[]string{"register", "stride", "mt-swp", "mt-swp+T"}, true)
-	if err != nil {
-		return nil, err
-	}
-	return []*stats.Table{t}, nil
+	return []*stats.Table{t}, r.failures()
 }
 
 func runFig12(c Config) ([]*stats.Table, error) {
@@ -267,32 +251,28 @@ func runFig12(c Config) ([]*stats.Table, error) {
 			r.softwareF(s, swpref.MTSWP, true)}
 	}
 	for i, s := range specs {
-		base, err := rows[i].base.wait()
-		if err != nil {
-			return nil, err
-		}
-		pf, err := rows[i].pf.wait()
-		if err != nil {
-			return nil, err
-		}
-		pfT, err := rows[i].pfT.wait()
-		if err != nil {
-			return nil, err
-		}
+		base, pf, pfT := rows[i].base.res(), rows[i].pf.res(), rows[i].pfT.res()
 		earlyRatio := func(x *core.Result) float64 {
+			if x == nil {
+				return errCell()
+			}
 			return stats.Ratio(x.EarlyEvictions, x.PrefetchesIssued)
 		}
-		early.AddRowValues(s.Name, earlyRatio(pf), earlyRatio(pfT))
-		bw.AddRowValues(s.Name,
-			stats.SafeDiv(float64(pf.BytesTransferred), float64(base.BytesTransferred)),
-			stats.SafeDiv(float64(pfT.BytesTransferred), float64(base.BytesTransferred)))
+		bwRatio := func(x *core.Result) float64 {
+			if x == nil || base == nil {
+				return errCell()
+			}
+			return stats.SafeDiv(float64(x.BytesTransferred), float64(base.BytesTransferred))
+		}
+		early.AddRow(s.Name, fmtCell(earlyRatio(pf)), fmtCell(earlyRatio(pfT)))
+		bw.AddRow(s.Name, fmtCell(bwRatio(pf)), fmtCell(bwRatio(pfT)))
 	}
-	return []*stats.Table{early, bw}, nil
+	return []*stats.Table{early, bw}, r.failures()
 }
 
 // hwSpeedupTable renders one speedup table over the full suite for a list
 // of hardware prefetchers.
-func hwSpeedupTable(r *runner, title string, hws []namedHW, throttled []bool) (*stats.Table, error) {
+func hwSpeedupTable(r *runner, title string, hws []namedHW, throttled []bool) *stats.Table {
 	cols := make([]string, 0, len(hws))
 	for i, h := range hws {
 		n := h.name
@@ -311,33 +291,23 @@ func hwSpeedupTable(r *runner, title string, hws []namedHW, throttled []bool) (*
 			runs[i] = append(runs[i], r.hardwareF(s, h.name, h.make, thr))
 		}
 	}
-	matrix, err := speedupMatrix(bases, runs)
-	if err != nil {
-		return nil, err
-	}
-	return speedupTable(title, specs, cols, matrix), nil
+	return speedupTable(title, specs, cols, speedupMatrix(bases, runs))
 }
 
 func runFig13(c Config) ([]*stats.Table, error) {
 	r := newRunner(c)
-	naive, err := hwSpeedupTable(r,
+	naive := hwSpeedupTable(r,
 		"Figure 13a — hardware prefetchers, original indexing (speedup over baseline)",
 		[]namedHW{hwStrideRPT(false), hwStridePC(false, false), hwStream(false), hwGHB(false, false)}, nil)
-	if err != nil {
-		return nil, err
-	}
-	enhanced, err := hwSpeedupTable(r,
+	enhanced := hwSpeedupTable(r,
 		"Figure 13b — hardware prefetchers, enhanced warp-id indexing (speedup over baseline)",
 		[]namedHW{hwStrideRPT(true), hwStridePC(true, false), hwStream(true), hwGHB(true, false)}, nil)
-	if err != nil {
-		return nil, err
-	}
-	return []*stats.Table{naive, enhanced}, nil
+	return []*stats.Table{naive, enhanced}, r.failures()
 }
 
 func runFig14(c Config) ([]*stats.Table, error) {
 	r := newRunner(c)
-	t, err := hwSpeedupTable(r,
+	t := hwSpeedupTable(r,
 		"Figure 14 — MT-HWP table ablation (speedup over baseline)",
 		[]namedHW{
 			hwGHB(true, false),
@@ -346,15 +316,12 @@ func runFig14(c Config) ([]*stats.Table, error) {
 			hwMTHWP(false, true, 1),  // PWS+IP
 			hwMTHWP(true, true, 1),   // PWS+GS+IP
 		}, nil)
-	if err != nil {
-		return nil, err
-	}
-	return []*stats.Table{t}, nil
+	return []*stats.Table{t}, r.failures()
 }
 
 func runFig15(c Config) ([]*stats.Table, error) {
 	r := newRunner(c)
-	t, err := hwSpeedupTable(r,
+	t := hwSpeedupTable(r,
 		"Figure 15 — feedback-driven and throttled hardware prefetching (speedup over baseline)",
 		[]namedHW{
 			hwGHB(true, false),
@@ -365,10 +332,7 @@ func runFig15(c Config) ([]*stats.Table, error) {
 			hwMTHWP(true, true, 1), // MT-HWP+T (throttled flag below)
 		},
 		[]bool{false, false, false, false, false, true})
-	if err != nil {
-		return nil, err
-	}
-	return []*stats.Table{t}, nil
+	return []*stats.Table{t}, r.failures()
 }
 
 // sweepModes are the four series the Fig. 16/18 sweeps plot.
@@ -407,15 +371,12 @@ func runFig16(c Config) ([]*stats.Table, error) {
 		}
 	}
 	for si, kb := range sizes {
-		rows, err := speedupMatrix(bases, runs[si])
-		if err != nil {
-			return nil, err
-		}
-		t.AddRowValues(fmt.Sprint(kb),
-			geomeanColumn(rows, 0), geomeanColumn(rows, 1),
-			geomeanColumn(rows, 2), geomeanColumn(rows, 3))
+		rows := speedupMatrix(bases, runs[si])
+		t.AddRow(fmt.Sprint(kb),
+			fmtCell(geomeanColumn(rows, 0)), fmtCell(geomeanColumn(rows, 1)),
+			fmtCell(geomeanColumn(rows, 2)), fmtCell(geomeanColumn(rows, 3)))
 	}
-	return []*stats.Table{t}, nil
+	return []*stats.Table{t}, r.failures()
 }
 
 func runFig17(c Config) ([]*stats.Table, error) {
@@ -436,23 +397,20 @@ func runFig17(c Config) ([]*stats.Table, error) {
 			runs[i] = append(runs[i], r.hardwareF(s, h.name, h.make, false))
 		}
 	}
-	matrix, err := speedupMatrix(bases, runs)
-	if err != nil {
-		return nil, err
-	}
+	matrix := speedupMatrix(bases, runs)
 	for i, s := range specs {
 		cells := []string{s.Name}
 		for _, v := range matrix[i] {
-			cells = append(cells, stats.FormatFloat(v))
+			cells = append(cells, fmtCell(v))
 		}
 		t.AddRow(cells...)
 	}
 	cells := []string{"geomean"}
 	for i := range distances {
-		cells = append(cells, stats.FormatFloat(geomeanColumn(matrix, i)))
+		cells = append(cells, fmtCell(geomeanColumn(matrix, i)))
 	}
 	t.AddRow(cells...)
-	return []*stats.Table{t}, nil
+	return []*stats.Table{t}, r.failures()
 }
 
 func runFig18(c Config) ([]*stats.Table, error) {
@@ -489,15 +447,12 @@ func runFig18(c Config) ([]*stats.Table, error) {
 		}
 	}
 	for ci, cores := range coreCounts {
-		rows, err := speedupMatrix(bases[ci], runs[ci])
-		if err != nil {
-			return nil, err
-		}
-		t.AddRowValues(fmt.Sprint(cores),
-			geomeanColumn(rows, 0), geomeanColumn(rows, 1),
-			geomeanColumn(rows, 2), geomeanColumn(rows, 3))
+		rows := speedupMatrix(bases[ci], runs[ci])
+		t.AddRow(fmt.Sprint(cores),
+			fmtCell(geomeanColumn(rows, 0)), fmtCell(geomeanColumn(rows, 1)),
+			fmtCell(geomeanColumn(rows, 2)), fmtCell(geomeanColumn(rows, 3)))
 	}
-	return []*stats.Table{t}, nil
+	return []*stats.Table{t}, r.failures()
 }
 
 func runGSTable(c Config) ([]*stats.Table, error) {
@@ -514,18 +469,15 @@ func runGSTable(c Config) ([]*stats.Table, error) {
 			r.hardwareF(s, withGS.name, withGS.make, false)}
 	}
 	for i, s := range specs {
-		a, err := rows[i].noGS.wait()
-		if err != nil {
-			return nil, err
-		}
-		b, err := rows[i].withGS.wait()
-		if err != nil {
-			return nil, err
+		a, b := rows[i].noGS.res(), rows[i].withGS.res()
+		if a == nil || b == nil {
+			t.AddRow(s.Name, "ERR", "ERR", "ERR", "ERR")
+			continue
 		}
 		saved := 100 * (1 - stats.SafeDiv(float64(b.MTHWP.PWSAccesses), float64(a.MTHWP.PWSAccesses)))
 		t.AddRow(s.Name,
 			fmt.Sprint(a.MTHWP.PWSAccesses), fmt.Sprint(b.MTHWP.PWSAccesses),
 			fmt.Sprint(b.MTHWP.GSHits), stats.FormatFloat(saved))
 	}
-	return []*stats.Table{t}, nil
+	return []*stats.Table{t}, r.failures()
 }

@@ -6,7 +6,9 @@ package harness
 
 import (
 	"fmt"
+	"math"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 
@@ -45,6 +47,10 @@ type Config struct {
 	// futures in registration order. 1 reproduces strictly sequential
 	// execution.
 	Workers int
+	// CrashDir, when non-empty, receives a per-run crash-dump bundle
+	// (machine config, metrics snapshot, trace tail, stack) for every
+	// failed simulation; see crashdump.go. Empty disables dumping.
+	CrashDir string
 }
 
 func (c Config) waves() int {
@@ -86,7 +92,16 @@ type Experiment struct {
 var registry []Experiment
 
 func register(id, title, ref string, run func(Config) ([]*stats.Table, error)) {
-	registry = append(registry, Experiment{ID: id, Title: title, PaperRef: ref, Run: run})
+	// Every experiment depends on the lazily-built workload suite; a
+	// suite-construction failure surfaces here, once, instead of as an
+	// empty sweep.
+	wrapped := func(c Config) ([]*stats.Table, error) {
+		if _, err := workload.Load(); err != nil {
+			return nil, err
+		}
+		return run(c)
+	}
+	registry = append(registry, Experiment{ID: id, Title: title, PaperRef: ref, Run: wrapped})
 }
 
 // Experiments lists the registry in registration (paper) order.
@@ -136,6 +151,15 @@ func (f *future) wait() (*core.Result, error) {
 	return f.t.res, f.t.err
 }
 
+// res waits and returns the result, or nil when the run failed; table
+// assembly uses it so one failed run degrades to ERR cells while its
+// siblings' cells are untouched. The failure itself is reported by
+// runner.failures.
+func (f *future) res() *core.Result {
+	r, _ := f.wait()
+	return r
+}
+
 func newRunner(c Config) *runner {
 	return &runner{
 		c:     c,
@@ -181,25 +205,99 @@ func (r *runner) submit(key string, o core.Options) *future {
 	return &future{t}
 }
 
-// execute runs one simulation on a worker-pool slot and completes t. The
-// result is stored before the observability sink records it: a Finish
-// error must not discard the simulation, or a retry under the same key
-// would re-run it and duplicate the sink's trace/sample output (the sink
-// is additionally idempotent per key).
+// execute runs one simulation on a worker-pool slot and completes t.
 func (r *runner) execute(key string, t *task, o core.Options) {
 	defer close(t.done)
 	r.sem <- struct{}{}
 	defer func() { <-r.sem }()
+	t.res, t.err = r.runOne(key, o)
+}
+
+// runOne executes one simulation with panic isolation: a panic anywhere
+// in the simulator becomes a *RunError carrying the run key, an options
+// fingerprint, and the stack, so one poisoned run costs its own table
+// cells and nothing else. Run/New errors are wrapped the same way, and
+// either path writes a crash dump when Config.CrashDir is set.
+//
+// The result is stored before the observability sink records it: a
+// Finish error must not discard the simulation, or a retry under the
+// same key would re-run it and duplicate the sink's trace/sample output
+// (the sink is additionally idempotent per key).
+func (r *runner) runOne(key string, o core.Options) (res *core.Result, err error) {
+	var sim *core.Simulator
+	defer func() {
+		if p := recover(); p != nil {
+			re := &RunError{Key: key, Fingerprint: fingerprint(o), Panic: p, Stack: debug.Stack()}
+			re.DumpPath = r.dump(re, o, sim)
+			res, err = nil, re
+		}
+	}()
 	o.Obs = r.c.Obs.Observer()
-	res, err := core.Run(o)
+	if o.Obs == nil && r.c.CrashDir != "" {
+		// No sink, but crash dumps are wanted: attach a private tracer so
+		// a failure's dump includes the event tail leading up to it.
+		o.Obs = obs.New(obs.Config{TraceCapacity: obs.DefaultTraceCapacity})
+	}
+	sim, err = core.New(o)
+	if err == nil {
+		res, err = sim.Run()
+	}
 	if err != nil {
-		t.err = fmt.Errorf("%s: %w", key, err)
-		return
+		re := &RunError{Key: key, Fingerprint: fingerprint(o), Err: err}
+		re.DumpPath = r.dump(re, o, sim)
+		return nil, re
 	}
-	t.res = res
 	if err := r.c.Obs.Finish(key, o.Obs); err != nil {
-		t.err = fmt.Errorf("%s: %w", key, err)
+		return res, fmt.Errorf("%s: %w", key, err)
 	}
+	return res, nil
+}
+
+// fingerprint summarises the options that define a run, for failure
+// reports (the memo key is compact but drops the machine shape).
+func fingerprint(o core.Options) string {
+	cfg := o.Config
+	if cfg == nil {
+		cfg = config.Baseline()
+	}
+	bench := "<nil>"
+	if o.Workload != nil {
+		bench = o.Workload.Name
+	}
+	hw := "none"
+	if o.Hardware != nil {
+		hw = "set"
+	}
+	return fmt.Sprintf("bench=%s cores=%d sw=%v hw=%s throttle=%v filter=%v pmem=%v",
+		bench, cfg.NumCores, o.Software, hw, o.Throttle, o.PollutionFilter, o.PerfectMemory)
+}
+
+// failures aggregates every failed completed run into a *SweepError
+// (nil when all completed runs succeeded). Experiments call it after
+// assembling their tables, so a degraded sweep returns both the tables
+// (with ERR cells) and the damage report.
+func (r *runner) failures() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var keys []string
+	for k, t := range r.tasks {
+		select {
+		case <-t.done:
+			if t.err != nil {
+				keys = append(keys, k)
+			}
+		default: // still running (not part of this experiment's wait set)
+		}
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	sort.Strings(keys)
+	se := &SweepError{Failed: len(keys), Total: len(r.tasks)}
+	for _, k := range keys {
+		se.Errs = append(se.Errs, r.tasks[k].err)
+	}
+	return se
 }
 
 // run executes (or recalls) one simulation synchronously.
@@ -339,13 +437,28 @@ func hwMTHWP(gs, ip bool, distance int) namedHW {
 	}}
 }
 
-// geomeanColumn computes the per-column geomean of a speedup matrix.
+// errCell marks a table cell whose run failed; fmtCell renders it.
+func errCell() float64 { return math.NaN() }
+
+// fmtCell renders one numeric table cell, with failed runs as ERR.
+func fmtCell(v float64) string {
+	if math.IsNaN(v) {
+		return "ERR"
+	}
+	return stats.FormatFloat(v)
+}
+
+// geomeanColumn computes the per-column geomean of a speedup matrix,
+// skipping failed (NaN) cells; all-failed columns stay NaN (ERR).
 func geomeanColumn(rows [][]float64, col int) float64 {
 	var xs []float64
 	for _, r := range rows {
-		if col < len(r) {
+		if col < len(r) && !math.IsNaN(r[col]) {
 			xs = append(xs, r[col])
 		}
+	}
+	if len(xs) == 0 {
+		return math.NaN()
 	}
 	return stats.Geomean(xs)
 }

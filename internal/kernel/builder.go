@@ -145,7 +145,9 @@ func (b *Builder) Build() (*Program, error) {
 	return &prog, nil
 }
 
-// MustBuild is Build that panics on error; for package-level kernel tables.
+// MustBuild is Build that panics on error. It is intended for tests and
+// examples only; production callers (the workload suite) use Build so a
+// kernel-template bug surfaces as an error instead of a crash.
 func (b *Builder) MustBuild() *Program {
 	p, err := b.Build()
 	if err != nil {

@@ -8,8 +8,11 @@
 package mrq
 
 import (
+	"fmt"
+
 	"mtprefetch/internal/memreq"
 	"mtprefetch/internal/obs"
+	"mtprefetch/internal/simerr"
 )
 
 // AddResult reports what happened to a request offered to the queue.
@@ -80,6 +83,47 @@ func (q *Queue) Register(r *obs.Registry, l obs.Labels) {
 
 // Outstanding reports occupied entries (queued or in flight).
 func (q *Queue) Outstanding() int { return q.outstanding }
+
+// SendQueueLen reports requests accepted but not yet injected into the
+// network, for diagnostic snapshots.
+func (q *Queue) SendQueueLen() int { return len(q.sendq) }
+
+// WaiterCount sums the waiters attached to in-flight entries, the MRQ
+// side of the core's scoreboard-balance invariant.
+func (q *Queue) WaiterCount() int {
+	n := 0
+	for _, r := range q.byAddr {
+		n += len(r.Waiters)
+	}
+	return n
+}
+
+// CheckInvariants verifies entry accounting (core.Options.Checks): every
+// occupied slot must be either an in-flight tracked entry or an unsent
+// writeback — an entry completed twice or never completed breaks the
+// identity — and occupancy must stay within [0, capacity].
+func (q *Queue) CheckInvariants(cycle uint64, core int) error {
+	wbs := 0
+	for _, r := range q.sendq {
+		if r.Kind == memreq.Writeback {
+			wbs++
+		}
+	}
+	if want := len(q.byAddr) + wbs; q.outstanding != want {
+		return &simerr.InvariantError{
+			Component: "mrq", Name: "entry-accounting", Cycle: cycle,
+			Detail: fmt.Sprintf("core %d: %d slots occupied but %d in-flight entries + %d unsent writebacks",
+				core, q.outstanding, len(q.byAddr), wbs),
+		}
+	}
+	if q.outstanding < 0 || q.outstanding > q.capacity {
+		return &simerr.InvariantError{
+			Component: "mrq", Name: "capacity", Cycle: cycle,
+			Detail: fmt.Sprintf("core %d: occupancy %d outside [0, %d]", core, q.outstanding, q.capacity),
+		}
+	}
+	return nil
+}
 
 // Lookup returns the outstanding entry for a block address, or nil. It is
 // used by prefetch generation to drop candidates already in flight.

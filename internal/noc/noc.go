@@ -3,13 +3,20 @@
 // injection limited to one request from every 2 cores per cycle (Table II).
 package noc
 
-import "mtprefetch/internal/memreq"
+import (
+	"fmt"
+
+	"mtprefetch/internal/memreq"
+	"mtprefetch/internal/simerr"
+)
 
 // Stats are the network's lifetime counters.
 type Stats struct {
-	RequestsInjected  uint64
-	ResponsesInjected uint64
-	InjectStalls      uint64 // injection attempts refused by the per-cycle limit
+	RequestsInjected   uint64
+	ResponsesInjected  uint64
+	RequestsDelivered  uint64
+	ResponsesDelivered uint64
+	InjectStalls       uint64 // injection attempts refused by the per-cycle limit
 }
 
 type delivery struct {
@@ -104,6 +111,7 @@ func (n *Network) ArrivedRequests(cycle uint64, buf []*memreq.Request) []*memreq
 			return buf
 		}
 		buf = append(buf, n.toMem.pop().req)
+		n.stats.RequestsDelivered++
 	}
 }
 
@@ -116,8 +124,26 @@ func (n *Network) ArrivedResponses(cycle uint64, buf []*memreq.Request) []*memre
 			return buf
 		}
 		buf = append(buf, n.toCore.pop().req)
+		n.stats.ResponsesDelivered++
 	}
 }
 
 // InFlight reports messages currently traversing the network.
 func (n *Network) InFlight() int { return n.toMem.len() + n.toCore.len() }
+
+// CheckInvariants verifies flit conservation (core.Options.Checks):
+// every message injected and not yet delivered must still be traversing
+// the network — a dropped or duplicated flit breaks the identity.
+func (n *Network) CheckInvariants(cycle uint64) error {
+	want := int(n.stats.RequestsInjected-n.stats.RequestsDelivered) +
+		int(n.stats.ResponsesInjected-n.stats.ResponsesDelivered)
+	if got := n.InFlight(); got != want {
+		return &simerr.InvariantError{
+			Component: "noc", Name: "flit-conservation", Cycle: cycle,
+			Detail: fmt.Sprintf("%d messages in flight but injected-delivered = %d (req %d-%d, resp %d-%d)",
+				got, want, n.stats.RequestsInjected, n.stats.RequestsDelivered,
+				n.stats.ResponsesInjected, n.stats.ResponsesDelivered),
+		}
+	}
+	return nil
+}

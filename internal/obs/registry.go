@@ -173,6 +173,35 @@ func (r *Registry) Each(fn func(in *Instrument)) {
 	}
 }
 
+// SnapshotEntry is one instrument's value frozen at a point in time, in
+// a JSON-serialisable form for crash dumps.
+type SnapshotEntry struct {
+	Name      string  `json:"name"`
+	Core      int     `json:"core"`
+	Component string  `json:"component"`
+	Value     float64 `json:"value"`
+}
+
+// Snapshot freezes every instrument's current value, in registration
+// order (stable across runs of the same configuration). A nil registry
+// yields nil.
+func (r *Registry) Snapshot() []SnapshotEntry {
+	if r == nil {
+		return nil
+	}
+	out := make([]SnapshotEntry, 0, len(r.instruments))
+	for i := range r.instruments {
+		in := &r.instruments[i]
+		out = append(out, SnapshotEntry{
+			Name:      in.Name,
+			Core:      in.Labels.Core,
+			Component: in.Labels.Component,
+			Value:     in.Value(),
+		})
+	}
+	return out
+}
+
 // Value reads one instrument's current value as a float64 (histograms
 // report their mean).
 func (in *Instrument) Value() float64 {

@@ -17,6 +17,7 @@ import (
 	"mtprefetch/internal/mrq"
 	"mtprefetch/internal/obs"
 	"mtprefetch/internal/prefetch"
+	"mtprefetch/internal/simerr"
 	"mtprefetch/internal/stats"
 	"mtprefetch/internal/throttle"
 	"mtprefetch/internal/workload"
@@ -189,6 +190,9 @@ func New(o Options) (*Core, error) {
 // Stats returns a snapshot of the core's counters.
 func (c *Core) Stats() Stats { return c.stats }
 
+// ID returns the core's index in the machine.
+func (c *Core) ID() int { return c.id }
+
 // Observe attaches the observability layer: the core's own counters and
 // those of its sub-components (prefetch cache, MRQ, throttle engine,
 // MT-HWP tables) register into reg, and structured events are emitted
@@ -325,6 +329,90 @@ func (c *Core) Fill(cycle uint64, r *memreq.Request) {
 	}
 }
 
+// DropFill releases the MRQ entry for a response without waking its
+// waiters or filling the prefetch cache — a deliberately injected lost
+// completion (internal/faults) that the scoreboard-balance invariant is
+// designed to catch. Production code never calls it.
+func (c *Core) DropFill(r *memreq.Request) { c.MRQ.Complete(r.Addr) }
+
+// Diag is one core's diagnostic snapshot, for livelock reports and crash
+// dumps (core.DiagSnapshot).
+type Diag struct {
+	Core           int `json:"core"`
+	LiveWarps      int `json:"live_warps"`
+	ActiveWarps    int `json:"active_warps"`    // resident, still executing
+	DrainingWarps  int `json:"draining_warps"`  // program done, fills outstanding
+	StalledWarps   int `json:"stalled_warps"`   // active but stalled since the last memory event
+	MRQOutstanding int `json:"mrq_outstanding"` // occupied MRQ/MSHR entries
+	MRQUnsent      int `json:"mrq_unsent"`      // accepted but not yet injected
+	PFCacheLines   int `json:"pfcache_lines"`   // resident prefetch-cache blocks
+	ThrottleDegree int `json:"throttle_degree"` // 0 when throttling is off
+}
+
+// Diag captures the core's current state.
+func (c *Core) Diag() Diag {
+	d := Diag{
+		Core:           c.id,
+		LiveWarps:      c.liveWarps,
+		MRQOutstanding: c.MRQ.Outstanding(),
+		MRQUnsent:      c.MRQ.SendQueueLen(),
+		PFCacheLines:   c.PFCache.Occupancy(),
+	}
+	for i := range c.warps {
+		w := &c.warps[i]
+		if !w.active {
+			continue
+		}
+		if w.done {
+			d.DrainingWarps++
+			continue
+		}
+		d.ActiveWarps++
+		if w.stallEpoch == c.memEpoch {
+			d.StalledWarps++
+		}
+	}
+	if c.Throt != nil {
+		d.ThrottleDegree = c.Throt.Degree()
+	}
+	return d
+}
+
+// CheckInvariants verifies the core's conservation properties between
+// cycles, when the machine is in a consistent state (core.Options.Checks):
+// the MRQ's entry accounting, the prefetch cache's line accounting, and
+// the scoreboard release balance — every fill a warp waits on must be
+// backed by a waiter on an in-flight MRQ entry and vice versa, so a
+// completion that frees an entry without waking its waiters (or a double
+// wake) is caught here.
+func (c *Core) CheckInvariants(cycle uint64) error {
+	if err := c.MRQ.CheckInvariants(cycle, c.id); err != nil {
+		return err
+	}
+	if err := c.PFCache.CheckInvariants(cycle, c.id); err != nil {
+		return err
+	}
+	warpOut, regPending := 0, 0
+	for i := range c.warps {
+		w := &c.warps[i]
+		if !w.active {
+			continue
+		}
+		warpOut += w.outstanding
+		for _, p := range w.pending {
+			regPending += int(p)
+		}
+	}
+	if waiters := c.MRQ.WaiterCount(); warpOut != waiters || regPending != warpOut {
+		return &simerr.InvariantError{
+			Component: "smcore", Name: "scoreboard-balance", Cycle: cycle,
+			Detail: fmt.Sprintf("core %d: warps wait on %d fills (%d pending register slots) but MRQ entries carry %d waiters",
+				c.id, warpOut, regPending, waiters),
+		}
+	}
+	return nil
+}
+
 // maybeRetire finishes a warp whose program ended and whose loads drained.
 func (c *Core) maybeRetire(slot int) {
 	w := &c.warps[slot]
@@ -344,14 +432,15 @@ func (c *Core) maybeRetire(slot int) {
 }
 
 // Cycle advances the core by one cycle: throttle-period accounting and at
-// most one warp-instruction issue.
-func (c *Core) Cycle(cycle uint64) {
+// most one warp-instruction issue. A non-nil error is an invariant
+// violation (the simulation must abort).
+func (c *Core) Cycle(cycle uint64) error {
 	if c.periodic && cycle >= c.nextPeriod {
 		c.endPeriod(cycle)
 		c.nextPeriod = cycle + c.cfg.ThrottlePeriod
 	}
 	if cycle < c.issueBusyUntil || c.liveWarps == 0 {
-		return
+		return nil
 	}
 	n := len(c.warps)
 	// Switch-on-stall scheduling (Section II-B): keep issuing from the
@@ -364,29 +453,34 @@ func (c *Core) Cycle(cycle uint64) {
 		if !w.active || w.done || w.stallEpoch == c.memEpoch {
 			continue
 		}
-		if c.tryIssue(cycle, slot, w) {
+		issued, err := c.tryIssue(cycle, slot, w)
+		if err != nil {
+			return err
+		}
+		if issued {
 			if c.cfg.Scheduler == config.RoundRobin {
 				c.rr = (slot + 1) % n
 			} else {
 				c.rr = slot
 			}
-			return
+			return nil
 		}
 		w.stallEpoch = c.memEpoch
 	}
+	return nil
 }
 
 // tryIssue attempts to issue w's next instruction; it reports success.
-func (c *Core) tryIssue(cycle uint64, slot int, w *warpState) bool {
+func (c *Core) tryIssue(cycle uint64, slot int, w *warpState) (bool, error) {
 	in := &c.prog.Instrs[w.pc]
 	// Scoreboard: sources must be ready.
 	if w.pending[in.Src1] > 0 || w.pending[in.Src2] > 0 {
-		return false
+		return false, nil
 	}
 	// A load destination still being filled (software pipelining WAW)
 	// also blocks.
 	if in.Op == kernel.OpLoad && w.pending[in.Dst] > 0 {
-		return false
+		return false, nil
 	}
 	switch in.Op {
 	case kernel.OpALU:
@@ -401,9 +495,13 @@ func (c *Core) tryIssue(cycle uint64, slot int, w *warpState) bool {
 	case kernel.OpLoopBack:
 		c.issueOccupy(cycle, c.cfg.IssueCostALU)
 	case kernel.OpLoad, kernel.OpStore:
-		if !c.issueMemory(cycle, slot, w, in) {
+		issued, err := c.issueMemory(cycle, slot, w, in)
+		if err != nil {
+			return false, err
+		}
+		if !issued {
 			c.stats.IssueStallFullMRQ++
-			return false
+			return false, nil
 		}
 		c.stats.MemInstrs++
 	case kernel.OpPrefetch:
@@ -426,7 +524,7 @@ func (c *Core) tryIssue(cycle uint64, slot int, w *warpState) bool {
 		w.done = true
 		c.maybeRetire(slot)
 	}
-	return true
+	return true, nil
 }
 
 // demandCap is the MRQ occupancy demands and stores may reach; the
@@ -451,28 +549,29 @@ func (c *Core) transactions(w *warpState, in *kernel.Instr) []uint64 {
 }
 
 // issueMemory handles loads and stores; it reports false when the MRQ
-// cannot absorb the access (the warp retries later).
-func (c *Core) issueMemory(cycle uint64, slot int, w *warpState, in *kernel.Instr) bool {
+// cannot absorb the access (the warp retries later). A non-nil error is
+// an invariant violation.
+func (c *Core) issueMemory(cycle uint64, slot int, w *warpState, in *kernel.Instr) (bool, error) {
 	txs := c.transactions(w, in)
 	if in.Op == kernel.OpStore {
 		if c.perfectMem {
 			c.issueOccupy(cycle, c.cfg.IssueCostMem)
-			return true
+			return true, nil
 		}
 		if c.MRQ.Outstanding()+len(txs) > c.demandCap() {
-			return false
+			return false, nil
 		}
 		c.issueOccupy(cycle, c.cfg.IssueCostMem)
 		for _, addr := range txs {
 			c.MRQ.Add(memreq.New(addr, c.cfg.BlockBytes, memreq.Writeback, c.id, w.gwid, w.pc, cycle))
 		}
-		return true
+		return true, nil
 	}
 	// Demand load.
 	if c.perfectMem {
 		c.stats.DemandTransactions += uint64(len(txs))
 		c.issueOccupy(cycle, c.cfg.IssueCostMem)
-		return true
+		return true, nil
 	}
 	// Capacity check. Fast paths: a totally full queue always stalls, and
 	// a queue with room for the worst case always proceeds; only in
@@ -480,7 +579,7 @@ func (c *Core) issueMemory(cycle uint64, slot int, w *warpState, in *kernel.Inst
 	out := c.MRQ.Outstanding()
 	if out+len(txs) > c.demandCap() {
 		if out >= c.demandCap() || c.PFCache.Empty() {
-			return false
+			return false, nil
 		}
 		misses := 0
 		for _, addr := range txs {
@@ -489,7 +588,7 @@ func (c *Core) issueMemory(cycle uint64, slot int, w *warpState, in *kernel.Inst
 			}
 		}
 		if out+misses > c.demandCap() {
-			return false
+			return false, nil
 		}
 	}
 	c.stats.DemandTransactions += uint64(len(txs))
@@ -515,14 +614,18 @@ func (c *Core) issueMemory(cycle uint64, slot int, w *warpState, in *kernel.Inst
 		case mrq.Rejected:
 			// Capacity was checked above; a reject can only happen if
 			// another path raced, which cannot occur single-threaded.
-			panic("smcore: MRQ rejected a capacity-checked demand")
+			return false, &simerr.InvariantError{
+				Component: "smcore", Name: "mrq-capacity-check", Cycle: cycle,
+				Detail: fmt.Sprintf("core %d: MRQ rejected a capacity-checked demand at %#x (outstanding %d of %d)",
+					c.id, addr, c.MRQ.Outstanding(), c.cfg.MRQSize),
+			}
 		}
 	}
 	// Train the hardware prefetcher on the warp access.
 	if c.HWP != nil {
 		c.trainHWP(cycle, w, txs)
 	}
-	return true
+	return true, nil
 }
 
 // trainHWP presents the access to the hardware prefetcher and issues the

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"mtprefetch/internal/kernel"
+	"mtprefetch/internal/simerr"
 	"mtprefetch/internal/workload"
 )
 
@@ -92,11 +93,11 @@ type Stats struct {
 // Apply returns a transformed copy of the spec. The input spec is never
 // modified. Transforms that do not apply (e.g. stride prefetching on a
 // loop-free kernel) return the spec unchanged — running the "same binary".
-func Apply(s *workload.Spec, mode Mode, o Options) (*workload.Spec, Stats) {
+func Apply(s *workload.Spec, mode Mode, o Options) (*workload.Spec, Stats, error) {
 	o.defaults()
 	st := Stats{OccupancyBefore: s.MaxBlocksPerCore, OccupancyAfter: s.MaxBlocksPerCore}
 	if mode == None {
-		return s, st
+		return s, st, nil
 	}
 	t := *s
 	p := s.Program.Clone()
@@ -113,11 +114,15 @@ func Apply(s *workload.Spec, mode Mode, o Options) (*workload.Spec, Stats) {
 	}
 	if err := p.Validate(); err != nil {
 		// Transforms only rearrange validated programs; a failure here is
-		// a bug in this package.
-		panic(fmt.Sprintf("swpref: transform produced invalid program: %v", err))
+		// a bug in this package, surfaced as a typed invariant error so a
+		// sweep degrades to one ERR cell instead of dying.
+		return nil, st, &simerr.InvariantError{
+			Component: "swpref", Name: "transform-validity",
+			Detail: fmt.Sprintf("%v transform of %s produced an invalid program: %v", mode, s.Name, err),
+		}
 	}
 	t.Program = p
-	return &t, st
+	return &t, st, nil
 }
 
 // loopBounds returns the [start, end] instruction indices of the loop

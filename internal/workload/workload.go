@@ -14,6 +14,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mtprefetch/internal/kernel"
 )
@@ -164,7 +165,7 @@ type params struct {
 //	  c   = compute chain over all v_i
 //	  extra IMUL/FDIV ops
 //	  [store C c]
-func buildKernel(name string, p params) *kernel.Program {
+func buildKernel(name string, p params) (*kernel.Program, error) {
 	b := kernel.NewBuilder(name)
 	body := func() {
 		var vals []kernel.Reg
@@ -213,22 +214,54 @@ func buildKernel(name string, p params) *kernel.Program {
 	} else {
 		body()
 	}
-	return b.MustBuild()
+	return b.Build()
 }
 
-// suite is built once at init; Specs hands out copies.
-var suite []*Spec
+// suite is built lazily, exactly once, by load(); Specs hands out copies.
+// Lazy construction (instead of an init-time panic) lets a kernel-template
+// bug surface as an error through Load, so a sweep can report it instead
+// of crashing the process before main runs.
+var (
+	loadOnce sync.Once
+	suite    []*Spec
+	loadErr  error
+)
 
-func init() {
+// Load builds (once) and returns the built-in benchmark suite in
+// declaration order, surfacing any kernel-construction or validation
+// error. The convenience accessors (Specs, ByName, ByClass, ...) funnel
+// through the same build but return empty results on failure; callers
+// that must distinguish an empty result from a broken suite use Load.
+func Load() ([]*Spec, error) {
+	loadOnce.Do(func() { suite, loadErr = buildSuite() })
+	return suite, loadErr
+}
+
+func buildSuite() ([]*Spec, error) {
+	var out []*Spec
+	var firstErr error
 	mk := func(name, su string, class Class, warps, blocks, maxBlk, regs, delS, delIP int,
 		baseCPI, pmemCPI float64, p params) {
-		suite = append(suite, &Spec{
+		if firstErr != nil {
+			return
+		}
+		prog, err := buildKernel(name, p)
+		if err != nil {
+			firstErr = fmt.Errorf("workload %s: %w", name, err)
+			return
+		}
+		s := &Spec{
 			Name: name, Suite: su, Class: class,
 			TotalWarps: warps, Blocks: blocks, MaxBlocksPerCore: maxBlk,
 			RegsPerThread: regs, DelStride: delS, DelIP: delIP,
 			PaperBaseCPI: baseCPI, PaperPMemCPI: pmemCPI,
-			Program: buildKernel(name, p),
-		})
+			Program: prog,
+		}
+		if err := s.Validate(); err != nil {
+			firstErr = err
+			return
+		}
+		out = append(out, s)
 	}
 
 	// --- Memory-intensive suite (Table III) -------------------------------
@@ -308,16 +341,21 @@ func init() {
 	ni("qusirandom", "sdk", 4.12, 4.12, 32, 4)
 	ni("sad", "rodinia", 5.28, 4.17, 18, 4)
 
-	for _, s := range suite {
-		if err := s.Validate(); err != nil {
-			panic(err)
-		}
-	}
+	return out, firstErr
+}
+
+// load returns the suite for the convenience accessors, which keep their
+// error-free signatures: on a build failure they see an empty suite, and
+// the error is reported by whichever caller consults Load directly.
+func load() []*Spec {
+	s, _ := Load()
+	return s
 }
 
 // Specs returns the full suite in declaration order (memory-intensive
 // first, matching Table III, then Table IV).
 func Specs() []*Spec {
+	suite := load()
 	out := make([]*Spec, len(suite))
 	copy(out, suite)
 	return out
@@ -326,7 +364,7 @@ func Specs() []*Spec {
 // MemoryIntensive returns the 14 Table III benchmarks.
 func MemoryIntensive() []*Spec {
 	var out []*Spec
-	for _, s := range suite {
+	for _, s := range load() {
 		if s.Class != NonIntensive {
 			out = append(out, s)
 		}
@@ -337,7 +375,7 @@ func MemoryIntensive() []*Spec {
 // NonIntensiveSpecs returns the 12 Table IV benchmarks.
 func NonIntensiveSpecs() []*Spec {
 	var out []*Spec
-	for _, s := range suite {
+	for _, s := range load() {
 		if s.Class == NonIntensive {
 			out = append(out, s)
 		}
@@ -348,7 +386,7 @@ func NonIntensiveSpecs() []*Spec {
 // ByClass returns memory-intensive benchmarks of one class, sorted by name.
 func ByClass(c Class) []*Spec {
 	var out []*Spec
-	for _, s := range suite {
+	for _, s := range load() {
 		if s.Class == c {
 			out = append(out, s)
 		}
@@ -359,7 +397,7 @@ func ByClass(c Class) []*Spec {
 
 // ByName looks a benchmark up; it returns nil when absent.
 func ByName(name string) *Spec {
-	for _, s := range suite {
+	for _, s := range load() {
 		if s.Name == name {
 			return s
 		}
