@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race chaos bench bench-parallel
+.PHONY: check build test vet race chaos bench bench-parallel bench-core
 
 # The full gate used before committing: vet, build, race-enabled tests
 # (including the scaled-down parallel-harness sweep; see harness_test.go),
@@ -38,3 +38,15 @@ bench:
 # sweep times plus the headline speedup-j4 metric.
 bench-parallel:
 	$(GO) test -bench='Sweep' -run=^$$ -benchtime=1x .
+
+# Core-loop benchmarks, archived as BENCH_core.json: absolute simulation
+# rate (cycles/s), allocation counts, the fraction of cycles the
+# event-driven skipper elided, and the paired skip-vs-noskip wall-clock
+# speedup per memory-intensive benchmark. Override BENCHTIME=1x for a
+# CI smoke run; the default gives stable ratios on an idle machine.
+BENCHTIME ?= 3x
+bench-core:
+	$(GO) test -bench='CoreRun|CoreSkipSpeedup' -benchmem -run=^$$ -benchtime=$(BENCHTIME) . > bench_core.tmp
+	$(GO) run ./cmd/benchjson < bench_core.tmp > BENCH_core.json
+	@rm bench_core.tmp
+	@echo wrote BENCH_core.json

@@ -1,0 +1,126 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into deterministic JSON on stdout, so benchmark results can be
+// archived as CI artifacts (`make bench-core` → BENCH_core.json) and
+// diffed across commits without parsing the text format downstream.
+//
+// Usage:
+//
+//	go test -bench=. -run=^$ . | go run ./cmd/benchjson > BENCH.json
+//
+// Each "Benchmark..." result line becomes one object carrying the
+// benchmark name, iteration count, ns/op, the -benchmem B/op and
+// allocs/op columns when present, and every custom b.ReportMetric pair
+// (e.g. cycles/s, %skipped, speedup) under "metrics". The goos/goarch/
+// pkg/cpu header lines are captured once at the top level. Lines that
+// are not benchmark results (PASS, ok, warnings) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line.
+type result struct {
+	Name        string             `json:"name"`
+	Runs        int64              `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// output is the whole document.
+type output struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []result `json:"results"`
+}
+
+// parseLine parses one "BenchmarkName-8  	 123  	 456 ns/op ..." line.
+// The unit of each value follows it as the next field; custom metrics
+// use the same "value unit" convention.
+func parseLine(line string) (result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return result{}, false
+	}
+	runs, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: f[0], Runs: runs}
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		// Strip the GOMAXPROCS suffix ("-8") if the tail is numeric.
+		if _, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name = r.Name[:i]
+		}
+	}
+	seenNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		unit := f[i+1]
+		switch unit {
+		case "ns/op":
+			r.NsPerOp = val
+			seenNs = true
+		case "B/op":
+			v := val
+			r.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			r.AllocsPerOp = &v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	if !seenNs {
+		return result{}, false
+	}
+	return r, true
+}
+
+func main() {
+	var out output
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			out.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			out.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if r, ok := parseLine(line); ok {
+				out.Results = append(out.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkCoreRun/cell/skip-8   \t       3\t   3424559 ns/op\t  61442619 cycles/s\t        47.23 %skipped\t 2878517 B/op\t   33989 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Name != "BenchmarkCoreRun/cell/skip" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", r.Name)
+	}
+	if r.Runs != 3 || r.NsPerOp != 3424559 {
+		t.Errorf("runs/ns = %d/%v", r.Runs, r.NsPerOp)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 2878517 {
+		t.Errorf("B/op = %v", r.BytesPerOp)
+	}
+	if r.AllocsPerOp == nil || *r.AllocsPerOp != 33989 {
+		t.Errorf("allocs/op = %v", r.AllocsPerOp)
+	}
+	if r.Metrics["cycles/s"] != 61442619 || r.Metrics["%skipped"] != 47.23 {
+		t.Errorf("metrics = %v", r.Metrics)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  \tmtprefetch\t14.365s",
+		"goos: linux",
+		"Benchmark name without numbers",
+		"", // blank
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parsed non-benchmark line %q", line)
+		}
+	}
+}
+
+func TestParseLineNoBenchmem(t *testing.T) {
+	r, ok := parseLine("BenchmarkCoreSkipSpeedup/cell-8 \t       3\t   8392261 ns/op\t         1.63 speedup")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.BytesPerOp != nil || r.AllocsPerOp != nil {
+		t.Error("B/op and allocs/op should be absent")
+	}
+	if r.Metrics["speedup"] != 1.63 {
+		t.Errorf("speedup = %v", r.Metrics["speedup"])
+	}
+}

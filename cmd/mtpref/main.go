@@ -20,6 +20,10 @@
 //	-trace FILE     write a Chrome trace-event JSON (load in Perfetto / chrome://tracing)
 //	-sample N       epoch length in cycles for -metrics sampling (default 10000)
 //	-crashdir DIR   write a per-run crash-dump bundle for every failed simulation
+//	-noskip         visit every cycle instead of event-driven skipping (slower;
+//	                output is byte-identical either way — CI enforces it)
+//	-cpuprofile F   write a pprof CPU profile of the whole invocation to F
+//	-memprofile F   write a pprof heap profile (taken at exit) to F
 //
 // Exit codes: 0 all experiments clean; 1 fatal error (nothing usable was
 // produced); 2 usage error; 3 degraded (every experiment printed its
@@ -35,6 +39,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -43,13 +48,66 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: mtpref [-waves N] [-full] [-j N] [-csv DIR] [-metrics FILE] [-trace FILE] [-sample N] [-crashdir DIR] {list | run <id>... | all}\n")
+	fmt.Fprintf(os.Stderr, "usage: mtpref [-waves N] [-full] [-j N] [-csv DIR] [-metrics FILE] [-trace FILE] [-sample N] [-crashdir DIR] [-noskip] [-cpuprofile FILE] [-memprofile FILE] {list | run <id>... | all}\n")
 	os.Exit(2)
 }
 
 func fatal(args ...any) {
 	fmt.Fprintln(os.Stderr, append([]any{"mtpref:"}, args...)...)
+	stopProfiles()
 	os.Exit(1)
+}
+
+// stopProfiles finalises -cpuprofile/-memprofile output. It is a
+// package-level variable because fatal exits the process directly, so
+// every exit path (normal, degraded, fatal) must flush through it; it
+// replaces itself with a no-op on first call so a fatal inside a
+// finaliser cannot recurse.
+var stopProfiles = func() {}
+
+// startProfiles begins CPU profiling and arranges the heap snapshot,
+// installing the combined finaliser into stopProfiles.
+func startProfiles(cpuPath, memPath string) {
+	var stops []func()
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		})
+	}
+	if memPath != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		})
+	}
+	if len(stops) == 0 {
+		return
+	}
+	stopProfiles = func() {
+		stopProfiles = func() {}
+		for _, stop := range stops {
+			stop()
+		}
+	}
 }
 
 // cliFlags holds every mtpref flag value after parsing.
@@ -62,6 +120,9 @@ type cliFlags struct {
 	tracePath   string
 	sample      uint64
 	crashDir    string
+	noSkip      bool
+	cpuProfile  string
+	memProfile  string
 }
 
 // defineFlags registers the mtpref flags on fs and returns the value
@@ -76,6 +137,9 @@ func defineFlags(fs *flag.FlagSet) *cliFlags {
 	fs.StringVar(&c.tracePath, "trace", "", "Chrome trace-event JSON file")
 	fs.Uint64Var(&c.sample, "sample", 10_000, "epoch length in cycles for -metrics sampling")
 	fs.StringVar(&c.crashDir, "crashdir", "", "directory for per-run crash-dump bundles on failure")
+	fs.BoolVar(&c.noSkip, "noskip", false, "visit every cycle instead of event-driven skipping")
+	fs.StringVar(&c.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&c.memProfile, "memprofile", "", "write a pprof heap profile (at exit) to this file")
 	return c
 }
 
@@ -145,7 +209,8 @@ func main() {
 
 	subset := !cli.full
 	cfg := harness.Config{Waves: cli.waves, Subset: &subset, Workers: cli.workers,
-		CrashDir: cli.crashDir}
+		CrashDir: cli.crashDir, NoCycleSkip: cli.noSkip}
+	startProfiles(cli.cpuProfile, cli.memProfile)
 
 	mf, mw := newOutFile(cli.metricsPath)
 	tf, tw := newOutFile(cli.tracePath)
@@ -201,6 +266,7 @@ func main() {
 	}
 	mf.close()
 	tf.close()
+	stopProfiles()
 
 	if len(degraded) > 0 {
 		fmt.Fprintf(os.Stderr, "mtpref: %d experiment(s) had failed runs:\n", len(degraded))

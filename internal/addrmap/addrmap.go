@@ -1,0 +1,115 @@
+// Package addrmap provides a pre-sized open-addressing hash table keyed
+// by block address, shared by the simulator's hot paths (the per-core
+// MRQ and the per-channel DRAM merge index). It replaces the built-in
+// map where the entry count is bounded by a structural capacity: one
+// allocation at build time (load factor <= 1/4, no rehashing), linear
+// probing with a Fibonacci multiplicative hash, and backward-shift
+// deletion so no tombstones accumulate.
+package addrmap
+
+// Table maps uint64 keys to V. Build with New; the zero value is not
+// usable.
+type Table[V any] struct {
+	keys  []uint64
+	vals  []V
+	used  []bool
+	mask  uint64
+	shift uint
+	n     int
+}
+
+// New sizes the table for at most capacity live entries.
+func New[V any](capacity int) *Table[V] {
+	size := 8
+	for size < 4*capacity {
+		size *= 2
+	}
+	shift := uint(64)
+	for s := size; s > 1; s /= 2 {
+		shift--
+	}
+	return &Table[V]{
+		keys:  make([]uint64, size),
+		vals:  make([]V, size),
+		used:  make([]bool, size),
+		mask:  uint64(size - 1),
+		shift: shift,
+	}
+}
+
+// home is the preferred slot for a key (Fibonacci multiplicative hash;
+// block-aligned addresses differ only above the block-offset bits, which
+// the multiply spreads across the word).
+func (t *Table[V]) home(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> t.shift
+}
+
+// Len reports the number of live entries.
+func (t *Table[V]) Len() int { return t.n }
+
+// Get returns the value for key and whether it was present.
+func (t *Table[V]) Get(key uint64) (V, bool) {
+	for i := t.home(key); t.used[i]; i = (i + 1) & t.mask {
+		if t.keys[i] == key {
+			return t.vals[i], true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts key -> val. The caller ensures key is absent and the entry
+// count stays within the sized capacity.
+func (t *Table[V]) Put(key uint64, val V) {
+	i := t.home(key)
+	for t.used[i] {
+		i = (i + 1) & t.mask
+	}
+	t.keys[i], t.vals[i], t.used[i] = key, val, true
+	t.n++
+}
+
+// Del removes key, returning its value and whether it was present.
+// Removal backward-shifts the following probe chain so lookups never
+// need tombstones.
+func (t *Table[V]) Del(key uint64) (V, bool) {
+	var zero V
+	i := t.home(key)
+	for {
+		if !t.used[i] {
+			return zero, false
+		}
+		if t.keys[i] == key {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	v := t.vals[i]
+	t.n--
+	// Backward shift (Knuth's algorithm R): scan the cluster after the
+	// hole; a key may fill the hole only when that does not place it
+	// cyclically before its home slot (i in [home, j)), and the scan
+	// continues past keys that cannot move, because a later displaced
+	// key may still probe through the hole.
+	j := i
+	for {
+		j = (j + 1) & t.mask
+		if !t.used[j] {
+			t.keys[i], t.vals[i], t.used[i] = 0, zero, false
+			return v, true
+		}
+		if r := t.home(t.keys[j]); (i-r)&t.mask < (j-r)&t.mask {
+			t.keys[i], t.vals[i] = t.keys[j], t.vals[j]
+			i = j
+		}
+	}
+}
+
+// Each calls f for every live entry, in unspecified order.
+func (t *Table[V]) Each(f func(V)) {
+	for i, u := range t.used {
+		if u {
+			f(t.vals[i])
+		}
+	}
+}

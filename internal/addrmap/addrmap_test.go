@@ -1,0 +1,86 @@
+package addrmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTableMatchesMap drives the open-addressing table and a plain map
+// through the same random insert/delete/lookup sequence and demands
+// identical behaviour. Addresses collide deliberately (small
+// block-aligned universe) so probe chains and backward-shift deletion
+// are exercised.
+func TestTableMatchesMap(t *testing.T) {
+	const capacity = 64
+	rng := rand.New(rand.NewSource(1))
+	tab := New[int](capacity)
+	ref := make(map[uint64]int)
+	addr := func() uint64 { return uint64(rng.Intn(512)) * 64 }
+	for op := 0; op < 200_000; op++ {
+		a := addr()
+		switch rng.Intn(3) {
+		case 0: // insert (respecting capacity, like the MRQ does)
+			if _, ok := ref[a]; ok || len(ref) >= capacity {
+				continue
+			}
+			ref[a] = op
+			tab.Put(a, op)
+		case 1: // delete
+			want, wantOK := ref[a]
+			delete(ref, a)
+			if got, ok := tab.Del(a); ok != wantOK || got != want {
+				t.Fatalf("op %d: Del(%#x) = %d,%v, want %d,%v", op, a, got, ok, want, wantOK)
+			}
+		case 2: // lookup
+			want, wantOK := ref[a]
+			if got, ok := tab.Get(a); ok != wantOK || got != want {
+				t.Fatalf("op %d: Get(%#x) = %d,%v, want %d,%v", op, a, got, ok, want, wantOK)
+			}
+		}
+		if tab.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, tab.Len(), len(ref))
+		}
+	}
+	// Full sweep at the end: every surviving value is visited once.
+	seen := 0
+	tab.Each(func(v int) { seen++ })
+	if seen != len(ref) {
+		t.Fatalf("Each visited %d entries, want %d", seen, len(ref))
+	}
+}
+
+// TestTableClusterDeletion pins the backward-shift edge case: deleting
+// the head of a probe cluster must keep later displaced keys reachable,
+// including keys that sit at their home slot between two displaced ones.
+func TestTableClusterDeletion(t *testing.T) {
+	tab := New[uint64](8)
+	// Find three keys where b lands at its home slot one past a's home,
+	// and c collides with a (so c probes past b's slot).
+	var a, b, c uint64
+	for k := uint64(0); ; k += 64 {
+		if a == 0 && k > 0 {
+			a = k
+			continue
+		}
+		if a != 0 && b == 0 && tab.home(k) == (tab.home(a)+1)&tab.mask {
+			b = k
+			continue
+		}
+		if a != 0 && b != 0 && k != a && tab.home(k) == tab.home(a) {
+			c = k
+			break
+		}
+	}
+	for _, k := range []uint64{a, b, c} {
+		tab.Put(k, k)
+	}
+	if got, ok := tab.Del(a); !ok || got != a {
+		t.Fatalf("Del(a) = %d,%v, want %d,true", got, ok, a)
+	}
+	if got, ok := tab.Get(b); !ok || got != b {
+		t.Fatalf("Get(b) after cluster deletion = %d,%v, want %d,true", got, ok, b)
+	}
+	if got, ok := tab.Get(c); !ok || got != c {
+		t.Fatalf("Get(c) after cluster deletion = %d,%v, want %d,true (displaced key stranded)", got, ok, c)
+	}
+}

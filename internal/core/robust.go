@@ -65,6 +65,18 @@ type FaultInjector interface {
 	OnResponse(cycle uint64, r *memreq.Request) ResponseAction
 }
 
+// EventSource is the optional interface a FaultInjector implements to
+// stay compatible with event-driven cycle skipping: NextEvent returns
+// the next cycle at which the injector needs the simulation loop to
+// visit on its behalf (the maximum uint64 for "never" — appropriate for
+// injectors whose faults trigger only on cycles the loop visits anyway,
+// such as response perturbations). An injector that does not implement
+// EventSource disables skipping for the whole run, which is always
+// correct, just slower.
+type EventSource interface {
+	NextEvent(cycle uint64) uint64
+}
+
 // checkProgress is the watchdog: called every watchWindow cycles, it
 // compares retired warp-instructions and delivered fills against the
 // previous window. Neither moving means no warp can ever become ready

@@ -79,8 +79,15 @@ type Options struct {
 	// CheckEvery is the invariant-sweep period in cycles (default 65536
 	// when Checks is set). Non-zero without Checks is rejected.
 	CheckEvery uint64
+	// NoCycleSkip disables event-driven cycle skipping, forcing the loop
+	// to visit every cycle. Results are byte-identical either way — the
+	// differential tests in skip_test.go enforce it — so the flag exists
+	// for those tests, for benchmarking the machinery itself, and as an
+	// escape hatch while debugging NextEvent implementations.
+	NoCycleSkip bool
 	// Inject, when non-nil, perturbs the run for chaos testing; see
-	// FaultInjector.
+	// FaultInjector. An injector that does not also implement EventSource
+	// disables cycle skipping for the run.
 	Inject FaultInjector
 	// Obs attaches an observability bundle (epoch sampler and/or event
 	// tracer; see obs.New). Nil runs with just the internal metrics
@@ -168,8 +175,15 @@ type Simulator struct {
 	disp  *dispatcher
 	opts  Options
 
-	pending []*memreq.Request // DRAM backpressure buffer
-	rrCore  int
+	pending   []*memreq.Request // DRAM backpressure buffer
+	rrCore    int
+	injBudget int          // cached cfg.MaxInjectPerCycle()
+	pool      *memreq.Pool // request free-list shared by cores and DRAM
+
+	// Event-driven cycle skipping (see Run and nextEventCycle).
+	skipOK  bool        // skipping enabled for this run
+	injEvts EventSource // non-nil when the injector is skip-aware
+	skipped uint64      // cycles never visited
 
 	reg     *obs.Registry // always non-nil; end-of-run aggregation reads it
 	sampler *obs.Sampler  // nil unless Options.Obs enabled sampling
@@ -263,6 +277,17 @@ func New(o Options) (*Simulator, error) {
 		disp: &dispatcher{total: spec.Blocks},
 		opts: o,
 		inj:  o.Inject,
+		pool: memreq.NewPool(),
+	}
+	s.injBudget = cfg.MaxInjectPerCycle()
+	s.mem.SetPool(s.pool)
+	s.skipOK = !o.NoCycleSkip
+	if o.Inject != nil {
+		if es, ok := o.Inject.(EventSource); ok {
+			s.injEvts = es
+		} else {
+			s.skipOK = false
+		}
 	}
 	if !o.NoWatchdog {
 		s.watchWindow = o.WatchdogWindow
@@ -305,6 +330,7 @@ func New(o Options) (*Simulator, error) {
 			Throttle:   eng,
 			Filter:     filter,
 			PerfectMem: o.PerfectMemory,
+			Pool:       s.pool,
 		})
 		if err != nil {
 			return nil, err
@@ -330,12 +356,27 @@ func New(o Options) (*Simulator, error) {
 		c.Observe(reg, tracer)
 	}
 	s.mem.Register(reg, obs.Labels{Core: obs.CoreGlobal, Component: "dram"})
+	reg.Counter("core.cycles_skipped", obs.Labels{Core: obs.CoreGlobal, Component: "core"},
+		func() uint64 { return s.skipped })
 	s.sampler.Define(DefaultSeries()...)
 	return s, nil
 }
 
+// SkippedCycles reports how many cycles event-driven skipping never
+// visited; Cycles in the Result still counts them (simulated time is
+// identical with skipping on or off — only wall-clock work changes).
+func (s *Simulator) SkippedCycles() uint64 { return s.skipped }
+
 // Run advances the machine until the grid completes and the memory system
 // drains, then returns the measurements.
+//
+// The loop is event-driven: after each visited cycle it computes the
+// earliest future cycle at which any component can change state or any
+// observer deadline falls due (nextEventCycle) and jumps s.cycle straight
+// there. Skipped cycles are provably no-ops — every per-cycle step below
+// degenerates to a cheap comparison when nothing is due — so results are
+// byte-identical with skipping on or off; Options.NoCycleSkip and the
+// differential tests in skip_test.go exist to keep that true.
 func (s *Simulator) Run() (*Result, error) {
 	var respBuf, reqBuf []*memreq.Request
 	for ; s.cycle < s.opts.MaxCycles; s.cycle++ {
@@ -348,6 +389,8 @@ func (s *Simulator) Run() (*Result, error) {
 			if s.inj != nil {
 				switch s.inj.OnResponse(cyc, r) {
 				case DropResponse:
+					// Deliberately leaked: the MRQ still tracks r, so it
+					// must not be recycled.
 					continue
 				case DropCompletion:
 					s.cores[r.CoreID].DropFill(r)
@@ -356,6 +399,9 @@ func (s *Simulator) Run() (*Result, error) {
 			}
 			s.cores[r.CoreID].Fill(cyc, r)
 			s.fills++
+			// Each response object is delivered exactly once and nothing
+			// retains it past Fill, so its lifecycle ends here.
+			s.pool.Put(r)
 		}
 
 		// 2. Requests reach the DRAM controllers (with backpressure).
@@ -413,10 +459,27 @@ func (s *Simulator) Run() (*Result, error) {
 			s.nextWatch = cyc + s.watchWindow
 		}
 
-		// 8. Termination.
-		if cyc%64 == 0 && s.done() {
+		// 8. Termination — exact: done() only changes on visited cycles
+		// and short-circuits on the first busy component, so checking it
+		// every cycle is both cheap and finish-event precise.
+		if s.done() {
 			res := s.collect()
 			return res, nil
+		}
+
+		// 9. Event-driven skip: jump to the next cycle anything can
+		// happen. s.cycle lands one before the target so the loop
+		// increment visits it.
+		if s.skipOK {
+			if target := s.nextEventCycle(cyc); target > cyc+1 {
+				if target > s.opts.MaxCycles {
+					target = s.opts.MaxCycles
+				}
+				if target > cyc+1 {
+					s.skipped += target - (cyc + 1)
+					s.cycle = target - 1
+				}
+			}
 		}
 	}
 	if s.done() {
@@ -436,11 +499,13 @@ func (s *Simulator) inject(cyc uint64) {
 		return
 	}
 	n := len(s.cores)
-	budget := s.cfg.MaxInjectPerCycle()
+	budget := s.injBudget
 	idle := 0
 	for budget > 0 && idle < n {
 		c := s.cores[s.rrCore]
-		s.rrCore = (s.rrCore + 1) % n
+		if s.rrCore++; s.rrCore == n {
+			s.rrCore = 0
+		}
 		r := c.NextSend()
 		if r == nil {
 			idle++
@@ -453,6 +518,59 @@ func (s *Simulator) inject(cyc uint64) {
 		budget--
 		idle = 0
 	}
+}
+
+// nextEventCycle computes the earliest future cycle at which any
+// component can act or any observer deadline falls due. Every term is a
+// lower bound on its component's next state change: visiting a cycle
+// where nothing happens is a harmless no-op, but skipping one where
+// something would have happened breaks byte-identity, so all components
+// answer conservatively and Run re-evaluates after every visited cycle.
+// Any term at or below cyc+1 means no cycle can be skipped, so the scan
+// bails out the moment one is found — on dense (non-skippable) cycles
+// the whole computation is a few comparisons, which keeps the skip
+// machinery near-free when it cannot win.
+func (s *Simulator) nextEventCycle(cyc uint64) uint64 {
+	if len(s.pending) > 0 {
+		return cyc + 1 // DRAM backpressure retries every cycle
+	}
+	floor := cyc + 1
+	next := s.mem.NextEvent(cyc)
+	if next <= floor {
+		return next
+	}
+	for _, c := range s.cores {
+		if t := c.NextEvent(cyc); t < next {
+			if t <= floor {
+				return t
+			}
+			next = t
+		}
+		if t := c.MRQ.NextEvent(cyc); t < next {
+			return t // a sendable entry always reports cyc+1
+		}
+	}
+	if t := s.net.NextEvent(); t < next {
+		if t <= floor {
+			return t
+		}
+		next = t
+	}
+	if t := s.sampler.NextTick(); t < next {
+		next = t
+	}
+	if s.checkEvery != 0 && s.nextCheck < next {
+		next = s.nextCheck
+	}
+	if s.watchWindow != 0 && s.nextWatch < next {
+		next = s.nextWatch
+	}
+	if s.injEvts != nil {
+		if t := s.injEvts.NextEvent(cyc); t < next {
+			next = t
+		}
+	}
+	return next
 }
 
 func (s *Simulator) done() bool {

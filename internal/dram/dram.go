@@ -10,6 +10,7 @@
 package dram
 
 import (
+	"mtprefetch/internal/addrmap"
 	"mtprefetch/internal/cache"
 	"mtprefetch/internal/memreq"
 	"mtprefetch/internal/obs"
@@ -59,11 +60,14 @@ type Stats struct {
 }
 
 type entry struct {
-	req     *memreq.Request
-	merged  []*memreq.Request
-	arrive  uint64
-	doneAt  uint64
-	pending bool // scheduled, awaiting completion
+	req    *memreq.Request
+	merged []*memreq.Request
+	arrive uint64
+	doneAt uint64
+	// bank/row are cached from bankRow at enqueue: the address never
+	// changes, and the FR-FCFS priority scan reads them every cycle.
+	bank int
+	row  int64
 }
 
 type bank struct {
@@ -72,11 +76,23 @@ type bank struct {
 }
 
 type channel struct {
-	queue     []*entry // unscheduled, arrival order
-	inflight  []*entry // scheduled, awaiting doneAt
+	queue    []*entry // unscheduled, arrival order
+	inflight []*entry // scheduled, awaiting doneAt
+	minDone  uint64   // min doneAt over inflight (stale when empty)
+	// reads indexes the non-writeback entries of queue+inflight by block
+	// address for O(1) inter-core merging; merging keeps it unique.
+	reads     *addrmap.Table[*entry]
 	banks     []bank
 	busFreeAt uint64
 	l2        *cache.Cache // nil when no L2 is configured
+}
+
+// track updates the channel's completion watermark as e joins inflight;
+// call immediately before appending.
+func (ch *channel) track(e *entry) {
+	if len(ch.inflight) == 0 || e.doneAt < ch.minDone {
+		ch.minDone = e.doneAt
+	}
 }
 
 // Memory is the whole off-chip memory system.
@@ -84,8 +100,13 @@ type Memory struct {
 	cfg       Config
 	rowBlocks uint64
 	chans     []*channel
+	pool      *memreq.Pool // nil: retired writebacks are garbage-collected
 	stats     Stats
 }
+
+// SetPool attaches a request free-list; serviced writebacks are recycled
+// into it at retirement, since they carry no response back to a core.
+func (m *Memory) SetPool(p *memreq.Pool) { m.pool = p }
 
 // New builds the memory system.
 func New(cfg Config) *Memory {
@@ -95,7 +116,10 @@ func New(cfg Config) *Memory {
 		chans:     make([]*channel, cfg.Channels),
 	}
 	for i := range m.chans {
-		ch := &channel{banks: make([]bank, cfg.Banks)}
+		ch := &channel{
+			banks: make([]bank, cfg.Banks),
+			reads: addrmap.New[*entry](cfg.QueueSize + pipelineDepth),
+		}
 		for b := range ch.banks {
 			ch.banks[b].openRow = -1
 		}
@@ -159,24 +183,21 @@ func (m *Memory) QueueLen(ch int) int { return len(m.chans[ch].queue) }
 func (m *Memory) Enqueue(cycle uint64, r *memreq.Request) bool {
 	ch := m.chans[m.ChannelOf(r.Addr)]
 	if r.Kind != memreq.Writeback {
-		for _, e := range ch.queue {
-			if e.req.Addr == r.Addr && e.req.Kind != memreq.Writeback {
-				m.mergeInto(e, r)
-				return true
-			}
-		}
-		for _, e := range ch.inflight {
-			if e.req.Addr == r.Addr && e.req.Kind != memreq.Writeback {
-				m.mergeInto(e, r)
-				return true
-			}
+		if e, ok := ch.reads.Get(r.Addr); ok {
+			m.mergeInto(e, r)
+			return true
 		}
 	}
 	if len(ch.queue) >= m.cfg.QueueSize {
 		m.stats.Rejects++
 		return false
 	}
-	ch.queue = append(ch.queue, &entry{req: r, arrive: cycle})
+	b, row := m.bankRow(r.Addr)
+	e := &entry{req: r, arrive: cycle, bank: b, row: row}
+	if r.Kind != memreq.Writeback {
+		ch.reads.Put(r.Addr, e)
+	}
+	ch.queue = append(ch.queue, e)
 	return true
 }
 
@@ -192,8 +213,7 @@ func (m *Memory) mergeInto(e *entry, r *memreq.Request) {
 
 // prio ranks an entry for FR-FCFS with demand priority: lower is better.
 func (m *Memory) prio(cycle uint64, ch *channel, e *entry) int {
-	b, row := m.bankRow(e.req.Addr)
-	hit := ch.banks[b].openRow == row
+	hit := ch.banks[e.bank].openRow == e.row
 	demand := e.req.Kind == memreq.Demand
 	if !demand && m.cfg.AgePromote > 0 && cycle-e.arrive > uint64(m.cfg.AgePromote) {
 		demand = true
@@ -228,23 +248,31 @@ func (m *Memory) Step(cycle uint64, done []*memreq.Request) []*memreq.Request {
 const pipelineDepth = 32
 
 func (m *Memory) stepChannel(cycle uint64, ch *channel, done []*memreq.Request) []*memreq.Request {
-	// Retire completed accesses.
-	for i := 0; i < len(ch.inflight); {
-		e := ch.inflight[i]
-		if e.doneAt > cycle {
-			i++
-			continue
-		}
-		ch.inflight[i] = ch.inflight[len(ch.inflight)-1]
-		ch.inflight = ch.inflight[:len(ch.inflight)-1]
-		if e.req.Kind != memreq.Writeback {
-			done = append(done, e.req)
-		}
-		for _, r := range e.merged {
-			if r.Kind != memreq.Writeback {
-				done = append(done, r)
+	// Retire completed accesses. The watermark makes the common
+	// nothing-due cycle a single comparison instead of an inflight walk.
+	if len(ch.inflight) > 0 && ch.minDone <= cycle {
+		newMin := ^uint64(0)
+		for i := 0; i < len(ch.inflight); {
+			e := ch.inflight[i]
+			if e.doneAt > cycle {
+				if e.doneAt < newMin {
+					newMin = e.doneAt
+				}
+				i++
+				continue
 			}
+			ch.inflight[i] = ch.inflight[len(ch.inflight)-1]
+			ch.inflight = ch.inflight[:len(ch.inflight)-1]
+			if e.req.Kind != memreq.Writeback {
+				ch.reads.Del(e.req.Addr)
+				done = append(done, e.req)
+			} else {
+				m.pool.Put(e.req)
+			}
+			// Merged entries never hold writebacks (Enqueue only merges reads).
+			done = append(done, e.merged...)
 		}
+		ch.minDone = newMin
 	}
 	// Schedule at most one new access per call while the pipeline has room.
 	if len(ch.queue) == 0 || len(ch.inflight) >= pipelineDepth {
@@ -269,6 +297,7 @@ func (m *Memory) stepChannel(cycle uint64, ch *channel, done []*memreq.Request) 
 	if ch.l2 != nil && e.req.Kind != memreq.Writeback && ch.l2.Lookup(e.req.Addr) {
 		m.stats.L2Hits++
 		e.doneAt = cycle + uint64(m.cfg.L2HitLatency)
+		ch.track(e)
 		ch.inflight = append(ch.inflight, e)
 		return done
 	}
@@ -276,6 +305,7 @@ func (m *Memory) stepChannel(cycle uint64, ch *channel, done []*memreq.Request) 
 		m.stats.L2Misses++
 	}
 	m.service(cycle, ch, e)
+	ch.track(e)
 	ch.inflight = append(ch.inflight, e)
 	if ch.l2 != nil {
 		// Fill on the way out (write-allocate for writebacks too); marked
@@ -286,8 +316,8 @@ func (m *Memory) stepChannel(cycle uint64, ch *channel, done []*memreq.Request) 
 }
 
 func (m *Memory) service(cycle uint64, ch *channel, e *entry) {
-	b, row := m.bankRow(e.req.Addr)
-	bk := &ch.banks[b]
+	row := e.row
+	bk := &ch.banks[e.bank]
 	start := cycle
 	if bk.readyAt > start {
 		start = bk.readyAt
@@ -327,6 +357,29 @@ func (m *Memory) service(cycle uint64, ch *channel, e *entry) {
 	case memreq.Writeback:
 		m.stats.Writebacks++
 	}
+}
+
+// NextEvent reports the next cycle at which the memory system will act:
+// cycle+1 while any channel can schedule (queue occupied with pipeline
+// room — FR-FCFS ranking and age promotion are cycle-dependent, so every
+// scheduling-opportunity cycle must be visited), otherwise the earliest
+// in-flight completion. The maximum uint64 when fully drained. Part of
+// the event-driven cycle-skipping contract (see core.Run).
+func (m *Memory) NextEvent(cycle uint64) uint64 {
+	// Cheap pass first: any channel able to schedule pins the next event
+	// to the very next cycle, making the in-flight scan unnecessary.
+	for _, ch := range m.chans {
+		if len(ch.queue) > 0 && len(ch.inflight) < pipelineDepth {
+			return cycle + 1
+		}
+	}
+	next := ^uint64(0)
+	for _, ch := range m.chans {
+		if len(ch.inflight) > 0 && ch.minDone < next {
+			next = ch.minDone
+		}
+	}
+	return next
 }
 
 // Drained reports whether no requests remain anywhere in the memory system.

@@ -65,6 +65,13 @@ func DropNthCompletion(n uint64) *Injector {
 	return i
 }
 
+// NextEvent implements core.EventSource, keeping chaos runs compatible
+// with event-driven cycle skipping. Every dial triggers on cycles the
+// loop visits regardless: response faults fire on response-delivery
+// cycles, and the issue stall only suppresses action on cycles the core
+// would otherwise act — so the injector never needs a wakeup of its own.
+func (i *Injector) NextEvent(cycle uint64) uint64 { return ^uint64(0) }
+
 // StallCore implements core.FaultInjector.
 func (i *Injector) StallCore(cycle uint64, coreID int) bool {
 	return i.StalledCore == coreID && cycle >= i.StallFrom

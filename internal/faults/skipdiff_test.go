@@ -1,0 +1,75 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"mtprefetch/internal/core"
+)
+
+// Differential fault tests: injected failures must be detected at the
+// exact same cycle with event-driven cycle skipping on and off. This
+// closes the loop the core-side equivalence matrix (core/skip_test.go)
+// cannot: faults imports core, so fault-injected differential runs have
+// to live here. The injector implements core.EventSource, so skipping
+// stays enabled during chaos runs — these tests prove that is safe.
+
+// runBoth executes o with skipping enabled and disabled and returns the
+// two errors.
+func runBoth(t *testing.T, mk func() core.Options) (errSkip, errFull error) {
+	t.Helper()
+	o := mk()
+	_, errSkip = core.Run(o)
+	o = mk() // fresh injector: they are single-run
+	o.NoCycleSkip = true
+	_, errFull = core.Run(o)
+	return errSkip, errFull
+}
+
+// TestChaosStalledWatchdogSkipEquivalence: the watchdog must fire at
+// the identical cycle with identical diagnostics whether or not the
+// loop skipped its way to it.
+func TestChaosStalledWatchdogSkipEquivalence(t *testing.T) {
+	mk := func() core.Options {
+		return core.Options{
+			Workload:  chaosSpec(t),
+			MaxCycles: 500_000_000,
+			Inject:    StallIssue(0, 1000),
+		}
+	}
+	errSkip, errFull := runBoth(t, mk)
+	var a, b *core.LivelockError
+	if !errors.As(errSkip, &a) || !errors.As(errFull, &b) {
+		t.Fatalf("want LivelockError from both: skip=%v full=%v", errSkip, errFull)
+	}
+	if a.Cycle != b.Cycle || a.Window != b.Window {
+		t.Errorf("watchdog fired at cycle %d (window %d) with skipping, %d (window %d) without",
+			a.Cycle, a.Window, b.Cycle, b.Window)
+	}
+	if a.Error() != b.Error() {
+		t.Errorf("livelock diagnostics diverge:\nskip: %s\nfull: %s", a, b)
+	}
+}
+
+// TestChaosDroppedCompletionSkipEquivalence: the scoreboard-balance
+// invariant sweep runs on deadline-clamped cycles, so it must catch the
+// lost wakeup at the same sweep cycle either way.
+func TestChaosDroppedCompletionSkipEquivalence(t *testing.T) {
+	mk := func() core.Options {
+		return core.Options{
+			Workload:   chaosSpec(t),
+			MaxCycles:  50_000_000,
+			Checks:     true,
+			CheckEvery: 10_000,
+			Inject:     DropNthCompletion(1),
+		}
+	}
+	errSkip, errFull := runBoth(t, mk)
+	var a, b *core.InvariantError
+	if !errors.As(errSkip, &a) || !errors.As(errFull, &b) {
+		t.Fatalf("want InvariantError from both: skip=%v full=%v", errSkip, errFull)
+	}
+	if *a != *b {
+		t.Errorf("invariant reports diverge:\nskip: %+v\nfull: %+v", *a, *b)
+	}
+}

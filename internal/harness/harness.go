@@ -51,6 +51,11 @@ type Config struct {
 	// (machine config, metrics snapshot, trace tail, stack) for every
 	// failed simulation; see crashdump.go. Empty disables dumping.
 	CrashDir string
+	// NoCycleSkip forces every simulation to visit every cycle instead
+	// of event-driven skipping (core.Options.NoCycleSkip). Tables are
+	// byte-identical either way; the CLI's -noskip flag and CI's
+	// differential gate rely on that.
+	NoCycleSkip bool
 }
 
 func (c Config) waves() int {
@@ -233,6 +238,7 @@ func (r *runner) runOne(key string, o core.Options) (res *core.Result, err error
 		}
 	}()
 	o.Obs = r.c.Obs.Observer()
+	o.NoCycleSkip = r.c.NoCycleSkip
 	if o.Obs == nil && r.c.CrashDir != "" {
 		// No sink, but crash dumps are wanted: attach a private tracer so
 		// a failure's dump includes the event tail leading up to it.

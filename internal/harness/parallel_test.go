@@ -29,15 +29,15 @@ func TestSpecScaleRounding(t *testing.T) {
 		blocks     int
 		wantFactor int
 	}{
-		{1, 1},   // far below one wave: unscaled (factor clamps to 1)
-		{13, 1},  // just under one wave: unscaled
-		{14, 1},  // exactly one wave
-		{20, 1},  // rounds down to 1 (20+7)/14
-		{21, 2},  // rounds up to 2: previously truncated to 1 (~1.5 waves kept)
-		{27, 2},  // just under 2 waves: previously truncated to 1 (~2x work)
-		{28, 2},  // exactly two waves
-		{34, 2},  // rounds down
-		{35, 3},  // rounds up
+		{1, 1},  // far below one wave: unscaled (factor clamps to 1)
+		{13, 1}, // just under one wave: unscaled
+		{14, 1}, // exactly one wave
+		{20, 1}, // rounds down to 1 (20+7)/14
+		{21, 2}, // rounds up to 2: previously truncated to 1 (~1.5 waves kept)
+		{27, 2}, // just under 2 waves: previously truncated to 1 (~2x work)
+		{28, 2}, // exactly two waves
+		{34, 2}, // rounds down
+		{35, 3}, // rounds up
 		{140, 10},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,46 @@
+package memreq
+
+// Pool is a free-list of Requests for one simulation. The simulator's
+// hot path allocates one Request per coalesced block transaction and one
+// Waiters slice per demand; recycling them once the fill has been
+// delivered (or the request merged away) removes that churn from the
+// per-cycle cost. A Pool is single-threaded, like the simulation that
+// owns it; a nil *Pool is valid and degrades to plain allocation, so
+// callers never need to guard.
+type Pool struct {
+	free []*Request
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a block-aligned request like New, reusing a recycled
+// Request (and its Waiters backing array) when one is available.
+func (p *Pool) Get(addr uint64, blockBytes int, kind Kind, coreID, warpID, pc int, cycle uint64) *Request {
+	if p == nil || len(p.free) == 0 {
+		return New(addr, blockBytes, kind, coreID, warpID, pc, cycle)
+	}
+	r := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	*r = Request{
+		Addr:        BlockAlign(addr, blockBytes),
+		Kind:        kind,
+		CoreID:      coreID,
+		WarpID:      warpID,
+		PC:          pc,
+		IssueCycle:  cycle,
+		WasPrefetch: kind == Prefetch,
+		Waiters:     r.Waiters[:0],
+	}
+	return r
+}
+
+// Put recycles a request whose lifecycle has ended: its fill was
+// delivered and processed, or it merged into an existing entry and was
+// never tracked. The caller must not retain r afterwards.
+func (p *Pool) Put(r *Request) {
+	if p == nil || r == nil {
+		return
+	}
+	p.free = append(p.free, r)
+}

@@ -9,6 +9,7 @@ package mrq
 
 import (
 	"fmt"
+	"mtprefetch/internal/addrmap"
 
 	"mtprefetch/internal/memreq"
 	"mtprefetch/internal/obs"
@@ -50,7 +51,7 @@ func (s *Stats) TotalArrivals() uint64 {
 // an MSHR file.
 type Queue struct {
 	capacity    int
-	byAddr      map[uint64]*memreq.Request
+	byAddr      *addrmap.Table[*memreq.Request]
 	sendq       []*memreq.Request
 	outstanding int
 	stats       Stats
@@ -60,7 +61,7 @@ type Queue struct {
 func New(capacity int) *Queue {
 	return &Queue{
 		capacity: capacity,
-		byAddr:   make(map[uint64]*memreq.Request, capacity),
+		byAddr:   addrmap.New[*memreq.Request](capacity),
 	}
 }
 
@@ -92,9 +93,7 @@ func (q *Queue) SendQueueLen() int { return len(q.sendq) }
 // side of the core's scoreboard-balance invariant.
 func (q *Queue) WaiterCount() int {
 	n := 0
-	for _, r := range q.byAddr {
-		n += len(r.Waiters)
-	}
+	q.byAddr.Each(func(r *memreq.Request) { n += len(r.Waiters) })
 	return n
 }
 
@@ -109,11 +108,11 @@ func (q *Queue) CheckInvariants(cycle uint64, core int) error {
 			wbs++
 		}
 	}
-	if want := len(q.byAddr) + wbs; q.outstanding != want {
+	if want := q.byAddr.Len() + wbs; q.outstanding != want {
 		return &simerr.InvariantError{
 			Component: "mrq", Name: "entry-accounting", Cycle: cycle,
 			Detail: fmt.Sprintf("core %d: %d slots occupied but %d in-flight entries + %d unsent writebacks",
-				core, q.outstanding, len(q.byAddr), wbs),
+				core, q.outstanding, q.byAddr.Len(), wbs),
 		}
 	}
 	if q.outstanding < 0 || q.outstanding > q.capacity {
@@ -127,12 +126,23 @@ func (q *Queue) CheckInvariants(cycle uint64, core int) error {
 
 // Lookup returns the outstanding entry for a block address, or nil. It is
 // used by prefetch generation to drop candidates already in flight.
-func (q *Queue) Lookup(addr uint64) *memreq.Request { return q.byAddr[addr] }
+func (q *Queue) Lookup(addr uint64) *memreq.Request { r, _ := q.byAddr.Get(addr); return r }
+
+// NextEvent reports the next cycle at which the queue itself has work to
+// drive: cycle+1 while a sendable entry waits for NOC injection, and
+// never otherwise (completions are the memory system's events). It is
+// part of the event-driven cycle-skipping contract (see core.Run).
+func (q *Queue) NextEvent(cycle uint64) uint64 {
+	if len(q.sendq) > 0 {
+		return cycle + 1
+	}
+	return ^uint64(0)
+}
 
 // Add offers a request to the queue.
 func (q *Queue) Add(r *memreq.Request) AddResult {
 	if r.Kind != memreq.Writeback {
-		if existing, ok := q.byAddr[r.Addr]; ok {
+		if existing, ok := q.byAddr.Get(r.Addr); ok {
 			q.stats.Merges++
 			switch r.Kind {
 			case memreq.Demand:
@@ -160,7 +170,7 @@ func (q *Queue) Add(r *memreq.Request) AddResult {
 		q.stats.Writebacks++
 	}
 	if r.Kind != memreq.Writeback {
-		q.byAddr[r.Addr] = r
+		q.byAddr.Put(r.Addr, r)
 	}
 	q.sendq = append(q.sendq, r)
 	return Accepted
@@ -192,11 +202,10 @@ func (q *Queue) PopSend() *memreq.Request {
 // Complete retires the entry for a returned fill and hands it back with
 // any merged waiters. It returns nil for unknown addresses.
 func (q *Queue) Complete(addr uint64) *memreq.Request {
-	r, ok := q.byAddr[addr]
+	r, ok := q.byAddr.Del(addr)
 	if !ok {
 		return nil
 	}
-	delete(q.byAddr, addr)
 	q.outstanding--
 	return r
 }

@@ -131,6 +131,22 @@ func (n *Network) ArrivedResponses(cycle uint64, buf []*memreq.Request) []*memre
 // InFlight reports messages currently traversing the network.
 func (n *Network) InFlight() int { return n.toMem.len() + n.toCore.len() }
 
+// NextEvent reports the earliest cycle at which a message is due for
+// delivery in either direction, or the maximum uint64 when the network
+// is empty. The fixed latency makes delivery times monotonic within each
+// direction, so each FIFO head is that direction's minimum. Part of the
+// event-driven cycle-skipping contract (see core.Run).
+func (n *Network) NextEvent() uint64 {
+	next := ^uint64(0)
+	if d, ok := n.toMem.peek(); ok {
+		next = d.at
+	}
+	if d, ok := n.toCore.peek(); ok && d.at < next {
+		next = d.at
+	}
+	return next
+}
+
 // CheckInvariants verifies flit conservation (core.Options.Checks):
 // every message injected and not yet delivered must still be traversing
 // the network — a dropped or duplicated flit breaks the identity.

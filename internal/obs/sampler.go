@@ -104,6 +104,16 @@ func (s *Sampler) Tick(cycle uint64) {
 	s.next = cycle + s.every
 }
 
+// NextTick reports the cycle of the next epoch boundary (the maximum
+// uint64 for a nil sampler), so an event-driven simulation loop can
+// skip idle spans without missing an epoch close.
+func (s *Sampler) NextTick() uint64 {
+	if s == nil {
+		return ^uint64(0)
+	}
+	return s.next
+}
+
 // Finish closes the final partial epoch (if it saw any cycles) so short
 // runs still produce at least one sample.
 func (s *Sampler) Finish(cycle uint64) {

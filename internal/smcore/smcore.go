@@ -9,6 +9,7 @@ package smcore
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mtprefetch/internal/cache"
 	"mtprefetch/internal/config"
@@ -76,12 +77,6 @@ type warpState struct {
 	txPC    int
 	txIter  int
 	txValid bool
-
-	// stallEpoch records the core's memEpoch when this warp last failed
-	// to issue. Both stall causes (scoreboard and MRQ capacity) can only
-	// clear when a fill returns or an MRQ slot frees — events that bump
-	// memEpoch — so the warp is skipped until then.
-	stallEpoch uint64
 }
 
 type blockState struct {
@@ -117,8 +112,21 @@ type Core struct {
 	periodic   bool // throttle engine or feedback prefetcher present
 
 	issueBusyUntil uint64
-	rr             int    // round-robin scan start
-	memEpoch       uint64 // bumped whenever a stall could have cleared
+	rr             int // round-robin scan start
+
+	// Warp issue index: activeMask has a bit per resident warp still
+	// executing its program (active and not done); issueMask is the
+	// subset not stalled since the last memory event. Cycle scans only
+	// issueMask, so done and stalled warps cost nothing per tick. Both
+	// stall causes (scoreboard and MRQ capacity) can only clear when a
+	// fill returns or an MRQ slot frees — the events that call wake and
+	// reset issueMask to activeMask.
+	activeMask  []uint64
+	issueMask   []uint64
+	activeCount int // set bits in activeMask
+	issuable    int // set bits in issueMask
+
+	pool *memreq.Pool // request free-list (nil: plain allocation)
 
 	// Throttle-period snapshots.
 	nextPeriod uint64
@@ -145,6 +153,7 @@ type Options struct {
 	Throttle   *throttle.Engine          // nil: no adaptive throttling
 	Filter     *prefetch.PollutionFilter // nil: no pollution filtering
 	PerfectMem bool                      // loads complete instantly (PMEM runs)
+	Pool       *memreq.Pool              // nil: requests are plainly allocated
 }
 
 // New builds a core and fills it with blocks up to the occupancy limit.
@@ -170,8 +179,11 @@ func New(o Options) (*Core, error) {
 		Filter:     o.Filter,
 		perfectMem: o.PerfectMem,
 		nextPeriod: o.Config.ThrottlePeriod,
-		memEpoch:   1,
+		pool:       o.Pool,
 	}
+	words := (len(c.warps) + 63) / 64
+	c.activeMask = make([]uint64, words)
+	c.issueMask = make([]uint64, words)
 	if o.Filter != nil {
 		c.pfOrigin = make(map[uint64]int)
 	}
@@ -257,7 +269,42 @@ func (c *Core) tryLaunchBlock(b int) {
 			w.pending[r] = 0
 		}
 		c.liveWarps++
+		c.activateWarp(b*wpb + i)
 	}
+}
+
+// wake makes every executing warp eligible for the issue scan again.
+// Called when a fill returns or an MRQ slot frees — the only events
+// that can clear a scoreboard or capacity stall.
+func (c *Core) wake() {
+	copy(c.issueMask, c.activeMask)
+	c.issuable = c.activeCount
+}
+
+// activateWarp enters a freshly launched warp into the issue index.
+func (c *Core) activateWarp(slot int) {
+	bit := uint64(1) << (uint(slot) & 63)
+	c.activeMask[slot>>6] |= bit
+	c.issueMask[slot>>6] |= bit
+	c.activeCount++
+	c.issuable++
+}
+
+// stallWarp drops a warp from the issue scan until the next wake.
+func (c *Core) stallWarp(slot int) {
+	c.issueMask[slot>>6] &^= 1 << (uint(slot) & 63)
+	c.issuable--
+}
+
+// warpDone removes a finished warp from the issue index. The caller
+// guarantees the warp's issue bit is set (it just issued its final
+// instruction, so the scan found it in issueMask).
+func (c *Core) warpDone(slot int) {
+	bit := uint64(1) << (uint(slot) & 63)
+	c.activeMask[slot>>6] &^= bit
+	c.issueMask[slot>>6] &^= bit
+	c.activeCount--
+	c.issuable--
 }
 
 // Idle reports whether the core has no resident work and no outstanding
@@ -274,14 +321,14 @@ func (c *Core) NextSend() *memreq.Request { return c.MRQ.NextSend() }
 func (c *Core) PopSend() *memreq.Request {
 	r := c.MRQ.PopSend()
 	if r != nil && r.Kind == memreq.Writeback {
-		c.memEpoch++
+		c.wake()
 	}
 	return r
 }
 
 // Fill delivers a returned memory response to the core.
 func (c *Core) Fill(cycle uint64, r *memreq.Request) {
-	c.memEpoch++
+	c.wake()
 	entry := c.MRQ.Complete(r.Addr)
 	if entry == nil {
 		// The response belongs to a request merged away inter-core; the
@@ -368,7 +415,7 @@ func (c *Core) Diag() Diag {
 			continue
 		}
 		d.ActiveWarps++
-		if w.stallEpoch == c.memEpoch {
+		if c.issueMask[i>>6]&(1<<(uint(i)&63)) == 0 {
 			d.StalledWarps++
 		}
 	}
@@ -393,14 +440,38 @@ func (c *Core) CheckInvariants(cycle uint64) error {
 		return err
 	}
 	warpOut, regPending := 0, 0
+	active, issuable := 0, 0
 	for i := range c.warps {
 		w := &c.warps[i]
+		bit := uint64(1) << (uint(i) & 63)
+		abit := c.activeMask[i>>6]&bit != 0
+		ibit := c.issueMask[i>>6]&bit != 0
+		if abit != (w.active && !w.done) || (ibit && !abit) {
+			return &simerr.InvariantError{
+				Component: "smcore", Name: "warp-index", Cycle: cycle,
+				Detail: fmt.Sprintf("core %d warp %d: active=%v done=%v but activeMask=%v issueMask=%v",
+					c.id, i, w.active, w.done, abit, ibit),
+			}
+		}
+		if abit {
+			active++
+		}
+		if ibit {
+			issuable++
+		}
 		if !w.active {
 			continue
 		}
 		warpOut += w.outstanding
 		for _, p := range w.pending {
 			regPending += int(p)
+		}
+	}
+	if active != c.activeCount || issuable != c.issuable {
+		return &simerr.InvariantError{
+			Component: "smcore", Name: "warp-index-counts", Cycle: cycle,
+			Detail: fmt.Sprintf("core %d: %d active / %d issuable bits but counts say %d / %d",
+				c.id, active, issuable, c.activeCount, c.issuable),
 		}
 	}
 	if waiters := c.MRQ.WaiterCount(); warpOut != waiters || regPending != warpOut {
@@ -439,35 +510,85 @@ func (c *Core) Cycle(cycle uint64) error {
 		c.endPeriod(cycle)
 		c.nextPeriod = cycle + c.cfg.ThrottlePeriod
 	}
-	if cycle < c.issueBusyUntil || c.liveWarps == 0 {
+	if cycle < c.issueBusyUntil || c.issuable == 0 {
 		return nil
 	}
-	n := len(c.warps)
 	// Switch-on-stall scheduling (Section II-B): keep issuing from the
 	// current warp until its operands are not ready, then move on. The
 	// resulting stagger between warps is what gives inter-thread
-	// prefetches their timeliness.
-	for k := 0; k < n; k++ {
-		slot := (c.rr + k) % n
-		w := &c.warps[slot]
-		if !w.active || w.done || w.stallEpoch == c.memEpoch {
-			continue
-		}
-		issued, err := c.tryIssue(cycle, slot, w)
-		if err != nil {
-			return err
-		}
-		if issued {
-			if c.cfg.Scheduler == config.RoundRobin {
-				c.rr = (slot + 1) % n
-			} else {
-				c.rr = slot
-			}
-			return nil
-		}
-		w.stallEpoch = c.memEpoch
+	// prefetches their timeliness. The scan walks issueMask from rr with
+	// wraparound, in the same order as a full (rr+k)%n sweep.
+	issued, err := c.scanIssue(cycle, c.rr, len(c.warps))
+	if err != nil || issued {
+		return err
 	}
-	return nil
+	_, err = c.scanIssue(cycle, 0, c.rr)
+	return err
+}
+
+// scanIssue walks the set bits of issueMask over slots [from, to) in
+// ascending order, trying to issue from each; it stops at the first
+// success. Warps that fail to issue leave the mask until the next wake.
+func (c *Core) scanIssue(cycle uint64, from, to int) (bool, error) {
+	if from >= to {
+		return false, nil
+	}
+	for wi := from >> 6; wi<<6 < to; wi++ {
+		word := c.issueMask[wi]
+		if base := wi << 6; base < from {
+			word &= ^uint64(0) << (uint(from-base) & 63)
+		}
+		if rem := to - wi<<6; rem < 64 {
+			word &= 1<<uint(rem) - 1
+		}
+		for word != 0 {
+			slot := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			issued, err := c.tryIssue(cycle, slot, &c.warps[slot])
+			if err != nil {
+				return false, err
+			}
+			if issued {
+				if c.cfg.Scheduler == config.RoundRobin {
+					c.rr = (slot + 1) % len(c.warps)
+				} else {
+					c.rr = slot
+				}
+				return true, nil
+			}
+			c.stallWarp(slot)
+		}
+	}
+	return false, nil
+}
+
+// NoEvent is the NextEvent result meaning "no self-scheduled work".
+const NoEvent = ^uint64(0)
+
+// NextEvent reports the next cycle at which the core can change state on
+// its own, given no intervening memory event: the next throttle-period
+// boundary, and — while any warp is still issue-eligible — the end of the
+// current issue occupancy. NoEvent when every resident warp is done or
+// stalled; only a fill or a freed MRQ slot can change that, and those are
+// the memory system's events. The value is a conservative lower bound:
+// callers re-evaluate after every visited cycle, so visiting a cycle
+// where nothing happens is safe, skipping one where something would have
+// happened is not.
+func (c *Core) NextEvent(cycle uint64) uint64 {
+	next := uint64(NoEvent)
+	if c.periodic && c.nextPeriod < next {
+		next = c.nextPeriod
+	}
+	if c.issuable > 0 {
+		t := c.issueBusyUntil
+		if t <= cycle {
+			t = cycle + 1
+		}
+		if t < next {
+			next = t
+		}
+	}
+	return next
 }
 
 // tryIssue attempts to issue w's next instruction; it reports success.
@@ -522,6 +643,7 @@ func (c *Core) tryIssue(cycle uint64, slot int, w *warpState) (bool, error) {
 	}
 	if w.pc >= len(c.prog.Instrs) {
 		w.done = true
+		c.warpDone(slot)
 		c.maybeRetire(slot)
 	}
 	return true, nil
@@ -563,7 +685,7 @@ func (c *Core) issueMemory(cycle uint64, slot int, w *warpState, in *kernel.Inst
 		}
 		c.issueOccupy(cycle, c.cfg.IssueCostMem)
 		for _, addr := range txs {
-			c.MRQ.Add(memreq.New(addr, c.cfg.BlockBytes, memreq.Writeback, c.id, w.gwid, w.pc, cycle))
+			c.MRQ.Add(c.pool.Get(addr, c.cfg.BlockBytes, memreq.Writeback, c.id, w.gwid, w.pc, cycle))
 		}
 		return true, nil
 	}
@@ -605,12 +727,18 @@ func (c *Core) issueMemory(cycle uint64, slot int, w *warpState, in *kernel.Inst
 			}
 			continue
 		}
-		r := memreq.New(addr, c.cfg.BlockBytes, memreq.Demand, c.id, w.gwid, w.pc, cycle)
-		r.Waiters = []memreq.Waiter{{Warp: slot, Reg: uint8(in.Dst)}}
+		r := c.pool.Get(addr, c.cfg.BlockBytes, memreq.Demand, c.id, w.gwid, w.pc, cycle)
+		r.Waiters = append(r.Waiters, memreq.Waiter{Warp: slot, Reg: uint8(in.Dst)})
 		switch c.MRQ.Add(r) {
-		case mrq.Accepted, mrq.Merged:
+		case mrq.Accepted:
 			w.pending[in.Dst]++
 			w.outstanding++
+		case mrq.Merged:
+			w.pending[in.Dst]++
+			w.outstanding++
+			// MergeDemand copied the waiter into the surviving entry; this
+			// request is dead and can be recycled.
+			c.pool.Put(r)
 		case mrq.Rejected:
 			// Capacity was checked above; a reject can only happen if
 			// another path raced, which cannot occur single-threaded.
@@ -686,7 +814,7 @@ func (c *Core) issuePrefetches(cycle uint64, gwid, pc int, candidates []uint64) 
 			c.stats.DroppedInCache++
 			continue
 		}
-		r := memreq.New(addr, c.cfg.BlockBytes, memreq.Prefetch, c.id, gwid, pc, cycle)
+		r := c.pool.Get(addr, c.cfg.BlockBytes, memreq.Prefetch, c.id, gwid, pc, cycle)
 		switch c.MRQ.Add(r) {
 		case mrq.Accepted:
 			c.stats.PrefetchesIssued++
@@ -695,8 +823,10 @@ func (c *Core) issuePrefetches(cycle uint64, gwid, pc int, candidates []uint64) 
 			}
 		case mrq.Merged:
 			c.stats.PrefetchMergedMRQ++
+			c.pool.Put(r)
 		case mrq.Rejected:
 			c.stats.DroppedQueueFull++
+			c.pool.Put(r)
 		}
 	}
 }
