@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race chaos bench bench-parallel bench-core
+.PHONY: check build test vet race chaos bench bench-parallel bench-core pfreport
 
 # The full gate used before committing: vet, build, race-enabled tests
 # (including the scaled-down parallel-harness sweep; see harness_test.go),
@@ -33,6 +33,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Prefetch attribution demo: run the GS-table sweep with per-(source, PC)
+# lifecycle attribution enabled, then render the per-source summary and
+# per-PC breakdown with cmd/pfstat. Leaves the raw JSONL in
+# pfreport.jsonl for further post-processing (e.g. pfstat -run REGEX).
+pfreport:
+	$(GO) run ./cmd/mtpref -waves 1 -pfreport pfreport.jsonl run gstable > /dev/null
+	$(GO) run ./cmd/pfstat -bypc pfreport.jsonl
 
 # Records the parallel harness's wall-clock scaling: per-worker-count
 # sweep times plus the headline speedup-j4 metric.

@@ -18,6 +18,11 @@
 //	-csv DIR        additionally write each table as <DIR>/<exp>-<n>.csv
 //	-metrics FILE   write per-epoch time series as JSONL (one line per run per epoch)
 //	-trace FILE     write a Chrome trace-event JSON (load in Perfetto / chrome://tracing)
+//	-pfreport FILE  write per-run prefetch attribution (per-source/per-PC
+//	                outcome counts) as JSONL; post-process with cmd/pfstat
+//	-http ADDR      serve live sweep introspection on ADDR (e.g. :6060):
+//	                "/" per-run progress JSON, "/metrics" Prometheus text,
+//	                "/debug/pprof" Go profiling
 //	-sample N       epoch length in cycles for -metrics sampling (default 10000)
 //	-crashdir DIR   write a per-run crash-dump bundle for every failed simulation
 //	-noskip         visit every cycle instead of event-driven skipping (slower;
@@ -48,7 +53,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: mtpref [-waves N] [-full] [-j N] [-csv DIR] [-metrics FILE] [-trace FILE] [-sample N] [-crashdir DIR] [-noskip] [-cpuprofile FILE] [-memprofile FILE] {list | run <id>... | all}\n")
+	fmt.Fprintf(os.Stderr, "usage: mtpref [-waves N] [-full] [-j N] [-csv DIR] [-metrics FILE] [-trace FILE] [-pfreport FILE] [-http ADDR] [-sample N] [-crashdir DIR] [-noskip] [-cpuprofile FILE] [-memprofile FILE] {list | run <id>... | all}\n")
 	os.Exit(2)
 }
 
@@ -118,6 +123,8 @@ type cliFlags struct {
 	csvDir      string
 	metricsPath string
 	tracePath   string
+	pfPath      string
+	httpAddr    string
 	sample      uint64
 	crashDir    string
 	noSkip      bool
@@ -135,6 +142,8 @@ func defineFlags(fs *flag.FlagSet) *cliFlags {
 	fs.StringVar(&c.csvDir, "csv", "", "directory to write per-table CSV files into")
 	fs.StringVar(&c.metricsPath, "metrics", "", "JSONL file for per-epoch metric samples")
 	fs.StringVar(&c.tracePath, "trace", "", "Chrome trace-event JSON file")
+	fs.StringVar(&c.pfPath, "pfreport", "", "JSONL file for per-run prefetch attribution (see cmd/pfstat)")
+	fs.StringVar(&c.httpAddr, "http", "", "address for the live-introspection debug server (e.g. :6060)")
 	fs.Uint64Var(&c.sample, "sample", 10_000, "epoch length in cycles for -metrics sampling")
 	fs.StringVar(&c.crashDir, "crashdir", "", "directory for per-run crash-dump bundles on failure")
 	fs.BoolVar(&c.noSkip, "noskip", false, "visit every cycle instead of event-driven skipping")
@@ -214,11 +223,22 @@ func main() {
 
 	mf, mw := newOutFile(cli.metricsPath)
 	tf, tw := newOutFile(cli.tracePath)
-	sink, err := obs.NewSink(mw, tw, obs.Config{SampleEvery: cli.sample})
+	pf, pw := newOutFile(cli.pfPath)
+	sink, err := obs.NewSink(mw, tw, pw, obs.Config{SampleEvery: cli.sample})
 	if err != nil {
 		fatal(err)
 	}
 	cfg.Obs = sink
+
+	if cli.httpAddr != "" {
+		ds, err := harness.NewDebugServer(cli.httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "mtpref: debug server listening on http://%s\n", ds.Addr())
+		cfg.Debug = ds
+	}
 
 	// Experiments degraded by failed runs (ERR cells) are collected and
 	// reported after everything else has had its chance to complete; a
@@ -266,6 +286,7 @@ func main() {
 	}
 	mf.close()
 	tf.close()
+	pf.close()
 	stopProfiles()
 
 	if len(degraded) > 0 {

@@ -11,6 +11,7 @@ package cache
 import (
 	"fmt"
 
+	"mtprefetch/internal/memreq"
 	"mtprefetch/internal/obs"
 	"mtprefetch/internal/simerr"
 )
@@ -33,6 +34,7 @@ type line struct {
 	valid bool
 	used  bool
 	lru   uint64 // last-touch stamp; higher = more recent
+	prov  memreq.Provenance
 }
 
 // Cache is a set-associative block cache. The zero value is an always-miss
@@ -46,6 +48,7 @@ type Cache struct {
 	lines     []line // sets*ways, row-major by set
 	stamp     uint64
 	stats     Stats
+	pf        *obs.PFReport // nil: attribution disabled
 }
 
 // New builds a cache with the given geometry. sizeBytes of zero yields an
@@ -68,6 +71,11 @@ func New(sizeBytes, ways, blockBytes int) *Cache {
 // Empty reports whether no block is resident; the hot demand path uses it
 // to skip per-transaction lookups when prefetching is inactive.
 func (c *Cache) Empty() bool { return c.occupied == 0 }
+
+// SetPFReport attaches prefetch attribution: the cache classifies hit,
+// early-eviction, and drain outcomes against the provenance each fill
+// carried. A nil report disables classification.
+func (c *Cache) SetPFReport(p *obs.PFReport) { c.pf = p }
 
 // Sets reports the number of sets (0 for the always-miss cache).
 func (c *Cache) Sets() int { return c.sets }
@@ -121,6 +129,12 @@ func (c *Cache) Lookup(addr uint64) bool {
 			if !set[i].used {
 				set[i].used = true
 				c.stats.FirstUses++
+				if c.pf != nil {
+					c.pf.Record(set[i].prov, memreq.OutUseful)
+				}
+			}
+			if c.pf != nil {
+				c.pf.Hit(set[i].prov)
 			}
 			c.stats.Hits++
 			return true
@@ -146,13 +160,29 @@ func (c *Cache) Contains(addr uint64) bool {
 	return false
 }
 
-// Fill inserts a prefetched block. used=true marks blocks that already
+// Fill inserts a prefetched block with no provenance (unattributed
+// callers: the shared L2 slice, tests). See FillProv.
+func (c *Cache) Fill(addr uint64, used bool) (earlyEvict bool, victimAddr uint64) {
+	return c.FillProv(addr, used, memreq.Provenance{})
+}
+
+// FillProv inserts a prefetched block. used=true marks blocks that already
 // served a demand on arrival (late prefetches that merged with a demand) so
 // their eventual eviction is not counted as early. It reports whether an
 // unused block was evicted (an early eviction) and, when so, the victim's
 // block address — the input the pollution filter trains on.
-func (c *Cache) Fill(addr uint64, used bool) (earlyEvict bool, victimAddr uint64) {
+//
+// prov is remembered per line so attribution (when attached) can charge
+// the eventual hit/eviction/drain outcome to the mechanism that issued
+// the prefetch. A used=true fill is already terminally classified as late
+// by the core, so only used=false fills are given a terminal here.
+func (c *Cache) FillProv(addr uint64, used bool, prov memreq.Provenance) (earlyEvict bool, victimAddr uint64) {
 	if c.sets == 0 {
+		// The always-miss cache drops the block on the floor: an issued
+		// prefetch that can never serve a demand is lost before use.
+		if c.pf != nil && !used {
+			c.pf.Record(prov, memreq.OutEarlyEvicted)
+		}
 		return false, 0
 	}
 	set := c.set(addr)
@@ -165,6 +195,14 @@ func (c *Cache) Fill(addr uint64, used bool) (earlyEvict bool, victimAddr uint64
 			if used && !set[i].used {
 				set[i].used = true
 				c.stats.FirstUses++
+				if c.pf != nil {
+					// The resident line is consumed by the merged demand;
+					// it will never see a false->true Lookup transition.
+					c.pf.Record(set[i].prov, memreq.OutUseful)
+				}
+			}
+			if c.pf != nil && !used {
+				c.pf.Record(prov, memreq.OutRedundant)
 			}
 			return false, 0
 		}
@@ -188,6 +226,9 @@ func (c *Cache) Fill(addr uint64, used bool) (earlyEvict bool, victimAddr uint64
 			c.stats.EarlyEvictions++
 			earlyEvict = true
 			victimAddr = set[victim].tag << c.blockBits
+			if c.pf != nil {
+				c.pf.Record(set[victim].prov, memreq.OutEarlyEvicted)
+			}
 		}
 	} else {
 		c.occupied++
@@ -196,7 +237,7 @@ func (c *Cache) Fill(addr uint64, used bool) (earlyEvict bool, victimAddr uint64
 		c.stats.FirstUses++
 	}
 	c.stats.Fills++
-	set[victim] = line{tag: tag, valid: true, used: used, lru: c.stamp}
+	set[victim] = line{tag: tag, valid: true, used: used, lru: c.stamp, prov: prov}
 	return earlyEvict, victimAddr
 }
 
@@ -212,6 +253,9 @@ func (c *Cache) Invalidate(addr uint64) bool {
 		if set[i].valid && set[i].tag == tag {
 			if !set[i].used {
 				c.stats.EarlyEvictions++
+				if c.pf != nil {
+					c.pf.Record(set[i].prov, memreq.OutEarlyEvicted)
+				}
 			}
 			set[i].valid = false
 			c.occupied--
@@ -219,6 +263,20 @@ func (c *Cache) Invalidate(addr uint64) bool {
 		}
 	}
 	return false
+}
+
+// DrainUnused terminally classifies every still-resident, never-used line
+// as unused-at-drain. The simulator calls it once when the run ends so
+// the outcome ledger closes (every issued prefetch has exactly one fate).
+func (c *Cache) DrainUnused() {
+	if c.pf == nil {
+		return
+	}
+	for i := range c.lines {
+		if c.lines[i].valid && !c.lines[i].used {
+			c.pf.Record(c.lines[i].prov, memreq.OutUnusedAtDrain)
+		}
+	}
 }
 
 // Occupancy returns the number of valid lines, for tests and debugging.

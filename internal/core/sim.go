@@ -187,6 +187,7 @@ type Simulator struct {
 
 	reg     *obs.Registry // always non-nil; end-of-run aggregation reads it
 	sampler *obs.Sampler  // nil unless Options.Obs enabled sampling
+	pfrep   *obs.PFReport // nil unless Options.Obs enabled attribution
 
 	// Robustness state (see robust.go).
 	inj         FaultInjector
@@ -350,10 +351,12 @@ func New(o Options) (*Simulator, error) {
 		}
 		s.sampler = o.Obs.Sampler
 		tracer = o.Obs.Tracer
+		s.pfrep = o.Obs.PF
 	}
 	s.reg = reg
 	for _, c := range s.cores {
 		c.Observe(reg, tracer)
+		c.AttachPFReport(s.pfrep)
 	}
 	s.mem.Register(reg, obs.Labels{Core: obs.CoreGlobal, Component: "dram"})
 	reg.Counter("core.cycles_skipped", obs.Labels{Core: obs.CoreGlobal, Component: "core"},
@@ -464,6 +467,9 @@ func (s *Simulator) Run() (*Result, error) {
 		// every cycle is both cheap and finish-event precise.
 		if s.done() {
 			res := s.collect()
+			if err := s.checkPFConservation(); err != nil {
+				return nil, err
+			}
 			return res, nil
 		}
 
@@ -483,7 +489,11 @@ func (s *Simulator) Run() (*Result, error) {
 		}
 	}
 	if s.done() {
-		return s.collect(), nil
+		res := s.collect()
+		if err := s.checkPFConservation(); err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 	return nil, fmt.Errorf("core: %s did not finish within %d cycles",
 		s.spec.Name, s.opts.MaxCycles)
@@ -585,8 +595,34 @@ func (s *Simulator) done() bool {
 	return s.net.InFlight() == 0 && len(s.pending) == 0 && s.mem.Drained()
 }
 
+// PFReport exposes the run's prefetch attribution ledger, or nil when
+// attribution was not enabled via Options.Obs.
+func (s *Simulator) PFReport() *obs.PFReport { return s.pfrep }
+
+// checkPFConservation verifies, after the attribution ledger is closed
+// by collect, that every generated prefetch received exactly one fate
+// (Options.Checks only). A double- or never-classified prefetch breaks
+// the identity and aborts the run like any other invariant violation.
+func (s *Simulator) checkPFConservation() error {
+	if s.pfrep == nil || !s.opts.Checks {
+		return nil
+	}
+	if ie := s.pfrep.CheckConservation(s.cycle); ie != nil {
+		return ie
+	}
+	return nil
+}
+
 func (s *Simulator) collect() *Result {
 	s.sampler.Finish(s.cycle)
+	if s.pfrep != nil {
+		// Close the attribution ledger: still-resident unused lines get
+		// their terminal fate, and the coverage denominator is fixed.
+		for _, c := range s.cores {
+			c.PFCache.DrainUnused()
+		}
+		s.pfrep.SetDemandTransactions(s.reg.Sum("smcore.demand_transactions"))
+	}
 	reg := s.reg
 	r := &Result{Benchmark: s.spec.Name, Cycles: s.cycle}
 	r.ProgInstructions = reg.Sum("smcore.prog_instructions")

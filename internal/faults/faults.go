@@ -111,13 +111,13 @@ var _ prefetch.Prefetcher = (*CorruptStride)(nil)
 func (c *CorruptStride) Name() string { return c.Inner.Name() + "+corrupt" }
 
 // Observe implements prefetch.Prefetcher.
-func (c *CorruptStride) Observe(t prefetch.Train, out []uint64) []uint64 {
+func (c *CorruptStride) Observe(t prefetch.Train, out []prefetch.Candidate) []prefetch.Candidate {
 	before := len(out)
 	out = c.Inner.Observe(t, out)
 	c.seen++
 	if c.seen > c.After {
 		for i := before; i < len(out); i++ {
-			out[i] ^= c.Mask
+			out[i].Addr ^= c.Mask
 		}
 	}
 	return out

@@ -1,0 +1,212 @@
+// Live sweep introspection: an optional HTTP debug server the CLI can
+// attach to a harness invocation (mtpref -http :6060). It exposes
+//
+//	/            JSON summary: per-run progress in submission order
+//	/metrics     Prometheus text exposition: harness progress gauges plus
+//	             the final registry snapshot of recently finished runs
+//	/debug/pprof the standard Go profiling endpoints
+//
+// The server only reads run states the runner publishes at start/finish
+// boundaries (plus each finished run's frozen registry snapshot), so it
+// never races with a simulation's hot loop and never perturbs results.
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"time"
+
+	"mtprefetch/internal/obs"
+)
+
+// snapshotKeep bounds how many finished runs keep their full registry
+// snapshot for /metrics; older runs keep only their progress line. A big
+// sweep has hundreds of runs with hundreds of instruments each, and the
+// recent tail is what live debugging looks at.
+const snapshotKeep = 32
+
+// runState is one simulation's progress entry as served by the debug
+// endpoints.
+type runState struct {
+	Key     string  `json:"key"`
+	Status  string  `json:"status"` // "running", "done", "failed"
+	Seconds float64 `json:"seconds"`
+	Error   string  `json:"error,omitempty"`
+
+	started time.Time
+	snap    []obs.SnapshotEntry // non-nil only for recent finished runs
+}
+
+// DebugServer is the optional live-introspection HTTP server. A nil
+// *DebugServer is disabled: the runner's publish hooks do nothing, so the
+// harness carries no conditionals.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu     sync.Mutex
+	order  []string // submission order, for stable listings
+	runs   map[string]*runState
+	snaps  []string // keys of finished runs still holding snapshots
+	failed int
+	done   int
+}
+
+// NewDebugServer starts the server on addr (":0" picks a free port; see
+// Addr). Close shuts it down.
+func NewDebugServer(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{ln: ln, runs: make(map[string]*runState)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", d.serveRuns)
+	mux.HandleFunc("/metrics", d.serveMetrics)
+	// net/http/pprof registers on http.DefaultServeMux; with a private mux
+	// the handlers must be wired explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d.srv = &http.Server{Handler: mux}
+	go d.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return d, nil
+}
+
+// Addr reports the listening address (useful with ":0").
+func (d *DebugServer) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Close shuts the server down.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}
+
+// RunStarted publishes that the runner began executing key.
+func (d *DebugServer) RunStarted(key string) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.runs[key]; ok {
+		return
+	}
+	d.order = append(d.order, key)
+	d.runs[key] = &runState{Key: key, Status: "running", started: time.Now()}
+}
+
+// RunFinished publishes a run's completion, its error (nil on success),
+// and its frozen end-of-run registry snapshot (may be nil, e.g. after a
+// panic).
+func (d *DebugServer) RunFinished(key string, snap []obs.SnapshotEntry, err error) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.runs[key]
+	if st == nil {
+		st = &runState{Key: key, started: time.Now()}
+		d.order = append(d.order, key)
+		d.runs[key] = st
+	}
+	st.Seconds = time.Since(st.started).Seconds()
+	if err != nil {
+		st.Status = "failed"
+		st.Error = err.Error()
+		d.failed++
+	} else {
+		st.Status = "done"
+		d.done++
+	}
+	if snap != nil {
+		st.snap = snap
+		d.snaps = append(d.snaps, key)
+		if len(d.snaps) > snapshotKeep {
+			d.runs[d.snaps[0]].snap = nil
+			d.snaps = d.snaps[1:]
+		}
+	}
+}
+
+// serveRuns renders the JSON progress summary.
+func (d *DebugServer) serveRuns(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" && r.URL.Path != "/runs" {
+		http.NotFound(w, r)
+		return
+	}
+	d.mu.Lock()
+	out := struct {
+		Running int        `json:"running"`
+		Done    int        `json:"done"`
+		Failed  int        `json:"failed"`
+		Runs    []runState `json:"runs"`
+	}{Done: d.done, Failed: d.failed}
+	for _, k := range d.order {
+		st := d.runs[k]
+		row := *st
+		if row.Status == "running" {
+			row.Seconds = time.Since(st.started).Seconds()
+			out.Running++
+		}
+		out.Runs = append(out.Runs, row)
+	}
+	d.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out) //nolint:errcheck // client went away
+}
+
+// serveMetrics renders the Prometheus text exposition: harness progress
+// gauges plus every retained finished run's registry snapshot, labelled
+// by run key, core, and component.
+func (d *DebugServer) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	running := 0
+	for _, st := range d.runs {
+		if st.Status == "running" {
+			running++
+		}
+	}
+	fmt.Fprintf(w, "# TYPE mtpref_runs gauge\n")
+	fmt.Fprintf(w, "mtpref_runs{status=%q} %d\n", "running", running)
+	fmt.Fprintf(w, "mtpref_runs{status=%q} %d\n", "done", d.done)
+	fmt.Fprintf(w, "mtpref_runs{status=%q} %d\n", "failed", d.failed)
+	for _, key := range d.snaps {
+		for _, e := range d.runs[key].snap {
+			fmt.Fprintf(w, "sim_%s{run=%q,core=%q,component=%q} %g\n",
+				promName(e.Name), key, fmt.Sprint(e.Core), e.Component, e.Value)
+		}
+	}
+}
+
+// promName sanitises a registry metric name ("smcore.demand_latency")
+// into the Prometheus name charset [a-zA-Z0-9_:].
+func promName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		}
+		return '_'
+	}, s)
+}

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"mtprefetch/internal/obs"
+)
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	d, err := NewDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	base := "http://" + d.Addr()
+
+	d.RunStarted("base/monte")
+	d.RunStarted("hw/monte/stride/true")
+	d.RunFinished("base/monte", []obs.SnapshotEntry{
+		{Name: "smcore.demand_transactions", Core: 0, Component: "smcore", Value: 42},
+	}, nil)
+	d.RunFinished("hw/monte/stride/true", nil, errors.New("boom"))
+
+	var runs struct {
+		Running int `json:"running"`
+		Done    int `json:"done"`
+		Failed  int `json:"failed"`
+		Runs    []struct {
+			Key    string `json:"key"`
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(get(t, base+"/")), &runs); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Running != 0 || runs.Done != 1 || runs.Failed != 1 || len(runs.Runs) != 2 {
+		t.Errorf("progress = %+v", runs)
+	}
+	if runs.Runs[0].Key != "base/monte" || runs.Runs[0].Status != "done" {
+		t.Errorf("first run = %+v, want base/monte done", runs.Runs[0])
+	}
+	if runs.Runs[1].Status != "failed" || !strings.Contains(runs.Runs[1].Error, "boom") {
+		t.Errorf("second run = %+v, want failed with error", runs.Runs[1])
+	}
+
+	metrics := get(t, base+"/metrics")
+	for _, want := range []string{
+		`mtpref_runs{status="done"} 1`,
+		`mtpref_runs{status="failed"} 1`,
+		`sim_smcore_demand_transactions{run="base/monte",core="0",component="smcore"} 42`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	if body := get(t, base+"/debug/pprof/cmdline"); body == "" {
+		t.Error("pprof cmdline endpoint empty")
+	}
+}
+
+// TestDebugServerSnapshotEviction: only the newest snapshotKeep finished
+// runs keep snapshots; older runs keep their progress line but drop the
+// per-instrument payload from /metrics.
+func TestDebugServerSnapshotEviction(t *testing.T) {
+	d, err := NewDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < snapshotKeep+5; i++ {
+		key := fmt.Sprintf("run-%03d", i)
+		d.RunStarted(key)
+		d.RunFinished(key, []obs.SnapshotEntry{{Name: "x", Component: "c", Value: float64(i)}}, nil)
+	}
+	metrics := get(t, "http://"+d.Addr()+"/metrics")
+	if strings.Contains(metrics, `run="run-000"`) {
+		t.Error("evicted run still in /metrics")
+	}
+	if !strings.Contains(metrics, fmt.Sprintf(`run="run-%03d"`, snapshotKeep+4)) {
+		t.Error("newest run missing from /metrics")
+	}
+	if !strings.Contains(metrics, fmt.Sprintf(`mtpref_runs{status="done"} %d`, snapshotKeep+5)) {
+		t.Error("done count wrong after eviction")
+	}
+}
+
+// TestDebugServerNilSafe: a nil server (introspection disabled) accepts
+// the runner's publish hooks without panicking.
+func TestDebugServerNilSafe(t *testing.T) {
+	var d *DebugServer
+	d.RunStarted("x")
+	d.RunFinished("x", nil, nil)
+	if d.Addr() != "" {
+		t.Error("nil Addr not empty")
+	}
+	if err := d.Close(); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+}

@@ -56,6 +56,10 @@ type Config struct {
 	// byte-identical either way; the CLI's -noskip flag and CI's
 	// differential gate rely on that.
 	NoCycleSkip bool
+	// Debug, when non-nil, receives per-run progress and end-of-run
+	// registry snapshots for live introspection over HTTP (cmd/mtpref's
+	// -http flag); see NewDebugServer. It never affects results.
+	Debug *DebugServer
 }
 
 func (c Config) waves() int {
@@ -215,6 +219,7 @@ func (r *runner) execute(key string, t *task, o core.Options) {
 	defer close(t.done)
 	r.sem <- struct{}{}
 	defer func() { <-r.sem }()
+	r.c.Debug.RunStarted(key)
 	t.res, t.err = r.runOne(key, o)
 }
 
@@ -235,6 +240,8 @@ func (r *runner) runOne(key string, o core.Options) (res *core.Result, err error
 			re := &RunError{Key: key, Fingerprint: fingerprint(o), Panic: p, Stack: debug.Stack()}
 			re.DumpPath = r.dump(re, o, sim)
 			res, err = nil, re
+			// No registry snapshot: the simulator may be mid-mutation.
+			r.c.Debug.RunFinished(key, nil, re)
 		}
 	}()
 	o.Obs = r.c.Obs.Observer()
@@ -251,12 +258,23 @@ func (r *runner) runOne(key string, o core.Options) (res *core.Result, err error
 	if err != nil {
 		re := &RunError{Key: key, Fingerprint: fingerprint(o), Err: err}
 		re.DumpPath = r.dump(re, o, sim)
+		r.c.Debug.RunFinished(key, snapshotOf(sim), re)
 		return nil, re
 	}
+	r.c.Debug.RunFinished(key, snapshotOf(sim), nil)
 	if err := r.c.Obs.Finish(key, o.Obs); err != nil {
 		return res, fmt.Errorf("%s: %w", key, err)
 	}
 	return res, nil
+}
+
+// snapshotOf freezes a simulator's registry for the debug server; nil
+// when the simulator was never built (a New error).
+func snapshotOf(sim *core.Simulator) []obs.SnapshotEntry {
+	if sim == nil {
+		return nil
+	}
+	return sim.Registry().Snapshot()
 }
 
 // fingerprint summarises the options that define a run, for failure

@@ -55,6 +55,7 @@ type Queue struct {
 	sendq       []*memreq.Request
 	outstanding int
 	stats       Stats
+	pf          *obs.PFReport // nil: attribution disabled
 }
 
 // New creates a queue with the given entry capacity.
@@ -81,6 +82,11 @@ func (q *Queue) Register(r *obs.Registry, l obs.Labels) {
 	r.Counter("mrq.rejects", l, func() uint64 { return st.Rejects })
 	r.Gauge("mrq.outstanding", l, func() float64 { return float64(q.outstanding) })
 }
+
+// SetPFReport attaches prefetch attribution: the queue reports
+// demand-into-prefetch merges per provenance bucket (the per-source view
+// of the Eq. 6 lateness signal). A nil report disables it.
+func (q *Queue) SetPFReport(p *obs.PFReport) { q.pf = p }
 
 // Outstanding reports occupied entries (queued or in flight).
 func (q *Queue) Outstanding() int { return q.outstanding }
@@ -148,6 +154,9 @@ func (q *Queue) Add(r *memreq.Request) AddResult {
 			case memreq.Demand:
 				if existing.Kind == memreq.Prefetch {
 					q.stats.DemandIntoPrefetch++
+					if q.pf != nil {
+						q.pf.DemandMerge(existing.Prov)
+					}
 				}
 				existing.MergeDemand(r.Waiters)
 			case memreq.Prefetch:

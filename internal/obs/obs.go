@@ -28,6 +28,9 @@ type Config struct {
 	// TraceCapacity is the event ring size; 0 disables tracing.
 	// DefaultTraceCapacity is a reasonable value.
 	TraceCapacity int
+	// PFReport enables prefetch provenance and lifecycle attribution
+	// (per-source/per-PC outcome accounting).
+	PFReport bool
 }
 
 // DefaultTraceCapacity bounds the trace ring at a size that holds the
@@ -41,6 +44,7 @@ type Observer struct {
 	Registry *Registry
 	Sampler  *Sampler
 	Tracer   *Tracer
+	PF       *PFReport
 }
 
 // New builds an Observer with a fresh Registry plus whatever cfg enables.
@@ -53,6 +57,9 @@ func New(cfg Config) *Observer {
 	}
 	if cfg.TraceCapacity > 0 {
 		o.Tracer = NewTracer(cfg.TraceCapacity)
+	}
+	if cfg.PFReport {
+		o.PF = NewPFReport()
 	}
 	return o
 }

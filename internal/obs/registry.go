@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sort"
+	"sync"
 
 	"mtprefetch/internal/stats"
 )
@@ -43,9 +44,13 @@ type Instrument struct {
 	hist    func() stats.Histogram
 }
 
-// Registry holds a simulation's instruments, indexed by name. It is not
-// safe for concurrent use; the simulator is single-threaded.
+// Registry holds a simulation's instruments, indexed by name. The index
+// itself is guarded by a mutex so registration and aggregation may race
+// (the harness debug server snapshots registries from HTTP goroutines);
+// the sampling closures still read component state unsynchronised, so
+// live-value reads are only meaningful between simulation steps.
 type Registry struct {
+	mu          sync.RWMutex
 	instruments []Instrument
 	byName      map[string][]int
 }
@@ -56,6 +61,8 @@ func NewRegistry() *Registry {
 }
 
 func (r *Registry) add(in Instrument) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.byName[in.Name] = append(r.byName[in.Name], len(r.instruments))
 	r.instruments = append(r.instruments, in)
 }
@@ -92,6 +99,8 @@ func (r *Registry) Sum(name string) uint64 {
 	if r == nil {
 		return 0
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var total uint64
 	for _, i := range r.byName[name] {
 		if in := &r.instruments[i]; in.Kind == KindCounter {
@@ -106,6 +115,8 @@ func (r *Registry) GaugeSum(name string) float64 {
 	if r == nil {
 		return 0
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var total float64
 	for _, i := range r.byName[name] {
 		if in := &r.instruments[i]; in.Kind == KindGauge {
@@ -121,6 +132,8 @@ func (r *Registry) GaugeMean(name string) float64 {
 	if r == nil {
 		return 0
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var total float64
 	n := 0
 	for _, i := range r.byName[name] {
@@ -141,6 +154,8 @@ func (r *Registry) MergedHistogram(name string) stats.Histogram {
 	if r == nil {
 		return h
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for _, i := range r.byName[name] {
 		if in := &r.instruments[i]; in.Kind == KindHistogram {
 			s := in.hist()
@@ -155,6 +170,8 @@ func (r *Registry) Names() []string {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	names := make([]string, 0, len(r.byName))
 	for n := range r.byName {
 		names = append(names, n)
@@ -168,6 +185,8 @@ func (r *Registry) Each(fn func(in *Instrument)) {
 	if r == nil {
 		return
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for i := range r.instruments {
 		fn(&r.instruments[i])
 	}
@@ -189,6 +208,8 @@ func (r *Registry) Snapshot() []SnapshotEntry {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]SnapshotEntry, 0, len(r.instruments))
 	for i := range r.instruments {
 		in := &r.instruments[i]

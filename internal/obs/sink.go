@@ -26,21 +26,23 @@ import (
 type Sink struct {
 	cfg Config
 
-	mu      sync.Mutex
-	metrics io.Writer
-	trace   *TraceWriter
-	runs    int
-	done    map[string]bool
-	closed  bool
+	mu       sync.Mutex
+	metrics  io.Writer
+	trace    *TraceWriter
+	pfreport io.Writer
+	runs     int
+	done     map[string]bool
+	closed   bool
 }
 
-// NewSink builds a sink. metrics and trace may each be nil to disable
-// that output; when both are nil the sink itself is nil (disabled).
-func NewSink(metrics, trace io.Writer, cfg Config) (*Sink, error) {
-	if metrics == nil && trace == nil {
+// NewSink builds a sink. metrics, trace, and pfreport may each be nil to
+// disable that output; when all are nil the sink itself is nil
+// (disabled).
+func NewSink(metrics, trace, pfreport io.Writer, cfg Config) (*Sink, error) {
+	if metrics == nil && trace == nil && pfreport == nil {
 		return nil, nil
 	}
-	s := &Sink{cfg: cfg, metrics: metrics, done: make(map[string]bool)}
+	s := &Sink{cfg: cfg, metrics: metrics, pfreport: pfreport, done: make(map[string]bool)}
 	if metrics == nil {
 		s.cfg.SampleEvery = 0
 	}
@@ -56,6 +58,7 @@ func NewSink(metrics, trace io.Writer, cfg Config) (*Sink, error) {
 	} else {
 		s.cfg.TraceCapacity = 0
 	}
+	s.cfg.PFReport = pfreport != nil
 	return s, nil
 }
 
@@ -98,6 +101,15 @@ func (s *Sink) Finish(runKey string, o *Observer) error {
 	if s.trace != nil && o.Tracer != nil {
 		if err := s.trace.AddRun(s.runs, runKey, "core", o.Tracer); err != nil {
 			return fmt.Errorf("obs: trace for %s: %w", runKey, err)
+		}
+	}
+	if s.pfreport != nil && o.PF != nil {
+		var buf bytes.Buffer
+		if err := o.PF.WriteJSONL(&buf, runKey); err != nil {
+			return fmt.Errorf("obs: pfreport for %s: %w", runKey, err)
+		}
+		if _, err := s.pfreport.Write(buf.Bytes()); err != nil {
+			return fmt.Errorf("obs: pfreport for %s: %w", runKey, err)
 		}
 	}
 	s.runs++

@@ -1,5 +1,7 @@
 package prefetch
 
+import "mtprefetch/internal/memreq"
+
 // GHB is the global history buffer prefetcher of Table V (Nesbit &
 // Smith): an n-entry FIFO of recent miss addresses threaded by linked
 // lists. In AC/DC form (the paper's configuration) the index table is
@@ -104,7 +106,7 @@ func (p *GHB) entryAt(seq uint64) (*ghbEntry, bool) {
 }
 
 // Observe implements Prefetcher.
-func (p *GHB) Observe(t Train, out []uint64) []uint64 {
+func (p *GHB) Observe(t Train, out []Candidate) []Candidate {
 	k := key2{int(t.Addr >> p.czoneBits), 0}
 	if p.pcLocal {
 		k.a = t.PC
@@ -157,14 +159,14 @@ func (p *GHB) Observe(t Train, out []uint64) []uint64 {
 				if base <= 0 {
 					break
 				}
-				out = genStride(uint64(base), 0, 0, 1, t.Footprint, out)
+				out = genStride(memreq.SrcGHB, uint64(base), 0, 0, 1, t.Footprint, out)
 			}
 			return out
 		}
 	}
 	// Constant-stride fallback when the two most recent deltas agree.
 	if d0 == d1 && d0 != 0 {
-		return genStride(t.Addr, d0, p.distance, p.degree, t.Footprint, out)
+		return genStride(memreq.SrcGHB, t.Addr, d0, p.distance, p.degree, t.Footprint, out)
 	}
 	return out
 }

@@ -1,6 +1,9 @@
 package prefetch
 
-import "mtprefetch/internal/obs"
+import (
+	"mtprefetch/internal/memreq"
+	"mtprefetch/internal/obs"
+)
 
 // MTHWP is the paper's many-thread aware hardware prefetcher (Section
 // III-B, Fig. 6). It combines three tables:
@@ -138,7 +141,7 @@ const promotionThreshold = 3
 const ipTrainThreshold = 2
 
 // Observe implements Prefetcher.
-func (p *MTHWP) Observe(t Train, out []uint64) []uint64 {
+func (p *MTHWP) Observe(t Train, out []Candidate) []Candidate {
 	p.stats.Observations++
 	// Cycle 0: GS (and IP) indexed in parallel by PC; a GS hit wins and
 	// skips the PWS lookup entirely.
@@ -148,7 +151,7 @@ func (p *MTHWP) Observe(t Train, out []uint64) []uint64 {
 			if p.enableIP {
 				p.trainIP(t) // IP keeps training; no extra generation
 			}
-			return genStride(t.Addr, *stride, p.distance, p.degree, t.Footprint, out)
+			return genStride(memreq.SrcGS, t.Addr, *stride, p.distance, p.degree, t.Footprint, out)
 		}
 	}
 	// Cycle 1: PWS.
@@ -171,11 +174,11 @@ func (p *MTHWP) Observe(t Train, out []uint64) []uint64 {
 		if p.enableGS {
 			p.maybePromote(t.PC, t.Cycle, st.stride)
 		}
-		return genStride(t.Addr, st.stride, p.distance, p.degree, t.Footprint, out)
+		return genStride(memreq.SrcPWS, t.Addr, st.stride, p.distance, p.degree, t.Footprint, out)
 	}
 	if ipHit {
 		p.stats.IPHits++
-		return genStride(t.Addr, ipStride, p.distance, p.degree, t.Footprint, out)
+		return genStride(memreq.SrcHWIP, t.Addr, ipStride, p.distance, p.degree, t.Footprint, out)
 	}
 	return out
 }

@@ -1,6 +1,10 @@
 package prefetch
 
-import "testing"
+import (
+	"testing"
+
+	"mtprefetch/internal/memreq"
+)
 
 func TestMTHWPPWSTraining(t *testing.T) {
 	p := NewMTHWP(MTHWPOptions{})
@@ -29,10 +33,13 @@ func TestMTHWPStridePromotion(t *testing.T) {
 	}
 	pwsBefore := p.Stats().PWSAccesses
 	// Warp 4 has never been seen; its very first access must prefetch.
-	var out []uint64
+	var out []Candidate
 	out = p.Observe(Train{PC: 0x1a, WarpID: 4, Addr: 40, Footprint: fp}, out)
-	if len(out) != 1 || out[0] != 1040 {
+	if len(out) != 1 || out[0].Addr != 1040 {
 		t.Fatalf("GS prefetch = %v, want [1040]", out)
+	}
+	if out[0].Source != memreq.SrcGS {
+		t.Errorf("GS prefetch source = %v, want gs", out[0].Source)
 	}
 	s := p.Stats()
 	if s.GSHits != 1 {
@@ -61,15 +68,18 @@ func TestMTHWPNoPromotionOnDisagreement(t *testing.T) {
 // cross-warp stride is constant.
 func TestMTHWPInterThread(t *testing.T) {
 	p := NewMTHWP(MTHWPOptions{EnableIP: true})
-	var out []uint64
+	var out []Candidate
 	// Warps 1,2,3 arrive in order; per-warp stride never trains.
 	for w := 1; w <= 3; w++ {
 		out = p.Observe(Train{PC: 7, WarpID: w, Addr: uint64(w * 128), Footprint: fp}, out[:0])
 	}
 	// After three consistent accesses the IP stride (128/warp) is trained;
 	// warp 3's access prefetches for warp 4.
-	if len(out) != 1 || out[0] != 512 {
+	if len(out) != 1 || out[0].Addr != 512 {
 		t.Fatalf("IP prefetch = %v, want [512]", out)
+	}
+	if out[0].Source != memreq.SrcHWIP {
+		t.Errorf("IP prefetch source = %v, want hw-ip", out[0].Source)
 	}
 	if got := p.Stats().IPHits; got != 1 {
 		t.Errorf("IPHits = %d, want 1", got)
@@ -78,20 +88,20 @@ func TestMTHWPInterThread(t *testing.T) {
 
 func TestMTHWPInterThreadOutOfOrderWarps(t *testing.T) {
 	p := NewMTHWP(MTHWPOptions{EnableIP: true})
-	var out []uint64
+	var out []Candidate
 	// Warps arrive 2, 5, 9: deltas 3 and 4 warps, addresses consistent
 	// with 128 bytes/warp.
 	for _, w := range []int{2, 5, 9} {
 		out = p.Observe(Train{PC: 7, WarpID: w, Addr: uint64(w * 128), Footprint: fp}, out[:0])
 	}
-	if len(out) != 1 || out[0] != uint64(10*128) {
+	if len(out) != 1 || out[0].Addr != uint64(10*128) {
 		t.Fatalf("IP prefetch = %v, want [1280]", out)
 	}
 }
 
 func TestMTHWPIPDisabledWithoutFlag(t *testing.T) {
 	p := NewMTHWP(MTHWPOptions{})
-	var out []uint64
+	var out []Candidate
 	for w := 1; w <= 5; w++ {
 		out = p.Observe(Train{PC: 7, WarpID: w, Addr: uint64(w * 128), Footprint: fp}, out)
 	}
@@ -107,7 +117,7 @@ func TestMTHWPPWSPriorityOverIP(t *testing.T) {
 	p := NewMTHWP(MTHWPOptions{EnableIP: true})
 	// Interleave warps so both per-warp (stride 1000) and cross-warp
 	// (stride 10) patterns exist, like Fig. 5.
-	var out []uint64
+	var out []Candidate
 	seq := []struct {
 		w int
 		a uint64
@@ -140,9 +150,9 @@ func TestMTHWPGSPriorityOverIP(t *testing.T) {
 		trainAddrs(p, 0x1a, w, base, base+1000, base+2000)
 	}
 	ipBefore := p.Stats().IPHits
-	var out []uint64
+	var out []Candidate
 	out = p.Observe(Train{PC: 0x1a, WarpID: 9, Addr: 90, Footprint: fp}, out)
-	if len(out) != 1 || out[0] != 1090 {
+	if len(out) != 1 || out[0].Addr != 1090 {
 		t.Fatalf("prefetch = %v, want GS-generated [1090]", out)
 	}
 	if p.Stats().IPHits != ipBefore {
@@ -152,7 +162,7 @@ func TestMTHWPGSPriorityOverIP(t *testing.T) {
 
 func TestMTHWPIPZeroStrideNotTrained(t *testing.T) {
 	p := NewMTHWP(MTHWPOptions{EnableIP: true})
-	var out []uint64
+	var out []Candidate
 	for w := 1; w <= 6; w++ {
 		out = p.Observe(Train{PC: 7, WarpID: w, Addr: 4096, Footprint: fp}, out)
 	}
@@ -164,7 +174,7 @@ func TestMTHWPIPZeroStrideNotTrained(t *testing.T) {
 func TestMTHWPFootprintReplay(t *testing.T) {
 	p := NewMTHWP(MTHWPOptions{EnableIP: true})
 	foot := []uint64{0, 64, 128} // partially uncoalesced access
-	var out []uint64
+	var out []Candidate
 	for w := 1; w <= 3; w++ {
 		out = p.Observe(Train{PC: 7, WarpID: w, Addr: uint64(w * 4096), Footprint: foot}, out[:0])
 	}
@@ -173,7 +183,7 @@ func TestMTHWPFootprintReplay(t *testing.T) {
 		t.Fatalf("out = %v, want %v", out, want)
 	}
 	for i := range want {
-		if out[i] != want[i] {
+		if out[i].Addr != want[i] {
 			t.Fatalf("out = %v, want %v", out, want)
 		}
 	}

@@ -17,6 +17,8 @@
 // the MRQ, and the throttle engine before issuing them.
 package prefetch
 
+import "mtprefetch/internal/memreq"
+
 // Train is one demand observation presented to a prefetcher.
 type Train struct {
 	PC     int
@@ -30,14 +32,21 @@ type Train struct {
 	Footprint []uint64
 }
 
+// Candidate is one generated prefetch: a block address plus the table
+// that produced it, so downstream attribution can key outcomes by source.
+type Candidate struct {
+	Addr   uint64
+	Source memreq.Source
+}
+
 // Prefetcher turns demand observations into prefetch candidates.
 type Prefetcher interface {
 	// Name identifies the mechanism in experiment output.
 	Name() string
-	// Observe records the access and appends candidate prefetch block
-	// addresses to out, returning the extended slice. The Footprint
-	// slice is only valid during the call.
-	Observe(t Train, out []uint64) []uint64
+	// Observe records the access and appends candidate prefetches to
+	// out, returning the extended slice. The Footprint slice is only
+	// valid during the call.
+	Observe(t Train, out []Candidate) []Candidate
 }
 
 // Feedback carries one throttling period's prefetch outcome counters to
@@ -59,8 +68,9 @@ type FeedbackPrefetcher interface {
 const maxCandidates = 64
 
 // genStride appends candidates for a detected stride: degree triggers at
-// addr + stride*(distance+i), each replaying the footprint.
-func genStride(addr uint64, stride int64, distance, degree int, footprint []uint64, out []uint64) []uint64 {
+// addr + stride*(distance+i), each replaying the footprint and stamped
+// with the generating table's source.
+func genStride(src memreq.Source, addr uint64, stride int64, distance, degree int, footprint []uint64, out []Candidate) []Candidate {
 	start := len(out)
 	for i := 0; i < degree; i++ {
 		base := int64(addr) + stride*int64(distance+i)
@@ -71,7 +81,7 @@ func genStride(addr uint64, stride int64, distance, degree int, footprint []uint
 			if len(out)-start >= maxCandidates {
 				return out
 			}
-			out = append(out, uint64(base)+off)
+			out = append(out, Candidate{Addr: uint64(base) + off, Source: src})
 		}
 	}
 	return out

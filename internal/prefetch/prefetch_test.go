@@ -2,17 +2,28 @@ package prefetch
 
 import (
 	"testing"
+
+	"mtprefetch/internal/memreq"
 )
 
 // fp is a trivial single-block footprint.
 var fp = []uint64{0}
 
+// addrsOf projects candidates to their block addresses.
+func addrsOf(cs []Candidate) []uint64 {
+	out := make([]uint64, len(cs))
+	for i, c := range cs {
+		out[i] = c.Addr
+	}
+	return out
+}
+
 func trainAddrs(p Prefetcher, pc, warp int, addrs ...uint64) []uint64 {
-	var out []uint64
+	var out []Candidate
 	for _, a := range addrs {
 		out = p.Observe(Train{PC: pc, WarpID: warp, Addr: a, Footprint: fp}, out[:0])
 	}
-	return out
+	return addrsOf(out)
 }
 
 func TestStrideStateTraining(t *testing.T) {
@@ -35,7 +46,13 @@ func TestStrideStateTraining(t *testing.T) {
 
 func TestGenStrideFootprintReplay(t *testing.T) {
 	foot := []uint64{0, 64}
-	out := genStride(1000, 128, 1, 2, foot, nil)
+	cands := genStride(memreq.SrcPWS, 1000, 128, 1, 2, foot, nil)
+	for _, c := range cands {
+		if c.Source != memreq.SrcPWS {
+			t.Errorf("candidate %#x source = %v, want pws", c.Addr, c.Source)
+		}
+	}
+	out := addrsOf(cands)
 	want := []uint64{1128, 1192, 1256, 1320}
 	if len(out) != len(want) {
 		t.Fatalf("out = %v, want %v", out, want)
@@ -48,7 +65,7 @@ func TestGenStrideFootprintReplay(t *testing.T) {
 }
 
 func TestGenStrideNegativeGuard(t *testing.T) {
-	out := genStride(100, -1000, 1, 2, fp, nil)
+	out := genStride(memreq.SrcNone, 100, -1000, 1, 2, fp, nil)
 	if len(out) != 0 {
 		t.Errorf("negative addresses generated: %v", out)
 	}
@@ -59,7 +76,7 @@ func TestGenStrideCandidateCap(t *testing.T) {
 	for i := range big {
 		big[i] = uint64(i * 64)
 	}
-	out := genStride(1<<20, 4096, 1, 8, big, nil)
+	out := genStride(memreq.SrcNone, 1<<20, 4096, 1, 8, big, nil)
 	if len(out) > maxCandidates {
 		t.Errorf("generated %d candidates, cap is %d", len(out), maxCandidates)
 	}
@@ -87,7 +104,7 @@ func TestStridePCNaiveConfusedByInterleaving(t *testing.T) {
 		{1, 0}, {2, 10}, {1, 1000}, {3, 20}, {2, 1010},
 		{3, 1020}, {3, 2020}, {1, 2000}, {2, 2010},
 	}
-	var naiveOut, enhOut []uint64
+	var naiveOut, enhOut []Candidate
 	for _, s := range seq {
 		tr := Train{PC: 0x1a, WarpID: s.warp, Addr: s.addr, Footprint: fp}
 		naiveOut = naive.Observe(tr, naiveOut)
@@ -100,9 +117,9 @@ func TestStridePCNaiveConfusedByInterleaving(t *testing.T) {
 		t.Error("warp-aware prefetcher failed to find per-warp strides")
 	}
 	// Every enhanced prefetch extends some warp's 1000-stride stream.
-	for _, a := range enhOut {
-		if (a-0)%10 != 0 {
-			t.Errorf("unexpected prefetch address %d", a)
+	for _, c := range enhOut {
+		if (c.Addr-0)%10 != 0 {
+			t.Errorf("unexpected prefetch address %d", c.Addr)
 		}
 	}
 }
@@ -140,7 +157,7 @@ func TestStrideRPTRegionTraining(t *testing.T) {
 func TestStrideRPTSeparateRegions(t *testing.T) {
 	p := NewStrideRPT(StrideRPTOptions{})
 	// Alternating between two far-apart regions; per-region strides hold.
-	var out []uint64
+	var out []Candidate
 	addrsA := []uint64{0x10000, 0x10100, 0x10200}
 	addrsB := []uint64{0x90000, 0x90040, 0x90080}
 	for i := 0; i < 3; i++ {
@@ -183,7 +200,7 @@ func TestStreamWarpAware(t *testing.T) {
 	// Two warps ping-pong within one region in opposite directions:
 	// ascending for warp 1, descending for warp 2 — combined, direction
 	// confidence never builds for the naive version.
-	var nOut, eOut []uint64
+	var nOut, eOut []Candidate
 	w1 := []uint64{0, 64, 128, 192}
 	w2 := []uint64{640, 576, 512, 448}
 	for i := 0; i < 4; i++ {
@@ -227,7 +244,7 @@ func TestGHBDeltaCorrelation(t *testing.T) {
 
 func TestGHBSeparateCZones(t *testing.T) {
 	p := NewGHB(GHBOptions{})
-	var out []uint64
+	var out []Candidate
 	// Interleave two zones; strides per zone must still be found.
 	for i := uint64(0); i < 3; i++ {
 		out = p.Observe(Train{PC: 0, WarpID: 0, Addr: 0x1000 + i*64, Footprint: fp}, out)
@@ -271,7 +288,7 @@ func TestStridePCThrottleDropsOnLateness(t *testing.T) {
 		t.Fatalf("dropNum = %d, want 1", p.dropNum)
 	}
 	// With dropping active, a trained stream generates fewer prefetches.
-	var out []uint64
+	var out []Candidate
 	for i := uint64(0); i < 16; i++ {
 		out = p.Observe(Train{PC: 1, WarpID: 1, Addr: i * 1000, Footprint: fp}, out)
 	}
@@ -356,11 +373,11 @@ func TestGHBPCDCVariant(t *testing.T) {
 	// PC-localized delta correlation: one PC strides across far-apart
 	// zones — AC/DC's CZone index would fragment the history, PC/DC
 	// should still find the stride.
-	var out []uint64
+	var out []Candidate
 	for i := uint64(0); i < 3; i++ {
 		out = p.Observe(Train{PC: 7, WarpID: 1, Addr: i * (1 << 16), Footprint: fp}, out)
 	}
-	if len(out) != 1 || out[0] != 3<<16 {
+	if len(out) != 1 || out[0].Addr != 3<<16 {
 		t.Fatalf("PC/DC prefetch = %v, want [0x30000]", out)
 	}
 	// The plain AC/DC version fragments this pattern across zones.

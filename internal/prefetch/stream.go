@@ -1,5 +1,7 @@
 package prefetch
 
+import "mtprefetch/internal/memreq"
+
 // Stream is the stream prefetcher of Table V (512-entry), in the style of
 // Jouppi's stream buffers / the POWER5 prefetcher: it watches for accesses
 // marching through a memory region in a constant direction and, once a
@@ -69,7 +71,7 @@ func (p *Stream) Name() string {
 }
 
 // Observe implements Prefetcher.
-func (p *Stream) Observe(t Train, out []uint64) []uint64 {
+func (p *Stream) Observe(t Train, out []Candidate) []Candidate {
 	p.stamp++
 	block := t.Addr / p.blockBytes
 	// Find the closest matching stream.
@@ -133,5 +135,5 @@ func (p *Stream) Observe(t Train, out []uint64) []uint64 {
 		return out
 	}
 	stride := dir * int64(p.blockBytes)
-	return genStride(t.Addr, stride, p.distance, p.degree, t.Footprint, out)
+	return genStride(memreq.SrcStream, t.Addr, stride, p.distance, p.degree, t.Footprint, out)
 }

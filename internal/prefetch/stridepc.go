@@ -1,5 +1,7 @@
 package prefetch
 
+import "mtprefetch/internal/memreq"
+
 // strideState is the classic stride-prefetcher training automaton
 // (Chen & Baer / Fu, Patel, Janssens).
 type strideState struct {
@@ -96,7 +98,7 @@ func (p *StridePC) key(t Train) key2 {
 }
 
 // Observe implements Prefetcher.
-func (p *StridePC) Observe(t Train, out []uint64) []uint64 {
+func (p *StridePC) Observe(t Train, out []Candidate) []Candidate {
 	k := p.key(t)
 	st, ok := p.tab.get(k)
 	if !ok {
@@ -112,7 +114,7 @@ func (p *StridePC) Observe(t Train, out []uint64) []uint64 {
 			return out
 		}
 	}
-	return genStride(t.Addr, st.stride, p.distance, p.degree, t.Footprint, out)
+	return genStride(memreq.SrcStridePC, t.Addr, st.stride, p.distance, p.degree, t.Footprint, out)
 }
 
 // ApplyFeedback implements FeedbackPrefetcher for the +T variant: a high

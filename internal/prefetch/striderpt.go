@@ -1,5 +1,7 @@
 package prefetch
 
+import "mtprefetch/internal/memreq"
+
 // StrideRPT is the region-based stride prefetcher of Table V ("Stride RPT",
 // 1024-entry, 16 region bits): training state is indexed by the memory
 // region an access falls in rather than by PC. The enhanced form
@@ -53,7 +55,7 @@ func (p *StrideRPT) Name() string {
 }
 
 // Observe implements Prefetcher.
-func (p *StrideRPT) Observe(t Train, out []uint64) []uint64 {
+func (p *StrideRPT) Observe(t Train, out []Candidate) []Candidate {
 	region := int(t.Addr >> p.regionBits)
 	k := key2{region, 0}
 	if p.warpAware {
@@ -67,5 +69,5 @@ func (p *StrideRPT) Observe(t Train, out []uint64) []uint64 {
 	if !st.observe(t.Addr) {
 		return out
 	}
-	return genStride(t.Addr, st.stride, p.distance, p.degree, t.Footprint, out)
+	return genStride(memreq.SrcStrideRPT, t.Addr, st.stride, p.distance, p.degree, t.Footprint, out)
 }

@@ -20,6 +20,7 @@ import (
 	"mtprefetch/internal/prefetch"
 	"mtprefetch/internal/simerr"
 	"mtprefetch/internal/stats"
+	"mtprefetch/internal/swpref"
 	"mtprefetch/internal/throttle"
 	"mtprefetch/internal/workload"
 )
@@ -102,7 +103,8 @@ type Core struct {
 	Throt   *throttle.Engine
 	Filter  *prefetch.PollutionFilter // nil: no pollution filtering
 
-	trace *obs.Tracer // nil: event tracing disabled
+	trace *obs.Tracer   // nil: event tracing disabled
+	pf    *obs.PFReport // nil: prefetch attribution disabled
 
 	// pfOrigin maps resident prefetched-but-unused blocks to the PC that
 	// generated them, so the pollution filter can attribute outcomes.
@@ -137,7 +139,7 @@ type Core struct {
 
 	// Scratch buffers reused across cycles.
 	txBuf   []uint64
-	candBuf []uint64
+	candBuf []prefetch.Candidate
 	footBuf []uint64
 
 	stats Stats
@@ -246,6 +248,18 @@ func (c *Core) Observe(reg *obs.Registry, tr *obs.Tracer) {
 	}
 }
 
+// AttachPFReport enables prefetch provenance attribution on the core and
+// its classification sites (prefetch cache, MRQ). With no report attached
+// the issue and fill paths skip all attribution work.
+func (c *Core) AttachPFReport(p *obs.PFReport) {
+	if p == nil {
+		return
+	}
+	c.pf = p
+	c.PFCache.SetPFReport(p)
+	c.MRQ.SetPFReport(p)
+}
+
 // tryLaunchBlock fills block slot b with a fresh thread block if any.
 func (c *Core) tryLaunchBlock(b int) {
 	blockID, ok := c.src.NextBlock()
@@ -352,14 +366,18 @@ func (c *Core) Fill(cycle uint64, r *memreq.Request) {
 	if entry.WasPrefetch {
 		if entry.DemandMerged {
 			c.stats.LatePrefetches++
+			entry.Outcome = memreq.OutLate
+			if c.pf != nil {
+				c.pf.Record(entry.Prov, memreq.OutLate)
+			}
 			// Late prefetch: the data still lands in the prefetch cache,
 			// already used.
-			c.PFCache.Fill(entry.Addr, true)
+			c.PFCache.FillProv(entry.Addr, true, entry.Prov)
 			if c.trace != nil {
 				c.trace.Emit(obs.EvLatePrefetch, cycle, c.id, entry.Addr, int64(entry.PC))
 			}
 		} else {
-			early, victim := c.PFCache.Fill(entry.Addr, false)
+			early, victim := c.PFCache.FillProv(entry.Addr, false, entry.Prov)
 			if early && c.trace != nil {
 				c.trace.Emit(obs.EvEarlyEviction, cycle, c.id, victim, 0)
 			}
@@ -779,55 +797,89 @@ func (c *Core) trainHWP(cycle uint64, w *warpState, txs []uint64) {
 	c.issuePrefetches(cycle, w.gwid, w.pc, c.candBuf)
 }
 
-// issueSWPrefetch executes a software prefetch instruction.
+// issueSWPrefetch executes a software prefetch instruction. The source
+// tag distinguishes the stride-style and inter-warp (IP-style) software
+// schemes so attribution can separate their outcomes.
 func (c *Core) issueSWPrefetch(cycle uint64, w *warpState, in *kernel.Instr) {
 	c.issueOccupy(cycle, c.cfg.IssueCostMem)
 	if c.perfectMem {
 		return
 	}
 	txs := c.transactions(w, in)
-	c.issuePrefetches(cycle, w.gwid, w.pc, txs)
+	src := swpref.SourceOf(in.Mem)
+	for _, addr := range txs {
+		c.issuePrefetch(cycle, w.gwid, w.pc, src, addr)
+	}
 }
 
-// issuePrefetches filters candidates through the throttle engine, the
-// prefetch cache, and the MRQ, issuing what survives. Prefetches are
-// non-binding: on any resource shortage they are dropped, never stalled.
-func (c *Core) issuePrefetches(cycle uint64, gwid, pc int, candidates []uint64) {
-	for _, addr := range candidates {
-		addr = memreq.BlockAlign(addr, c.cfg.BlockBytes)
-		c.stats.PrefetchesGenerated++
-		if c.Throt != nil && !c.Throt.Allow() {
-			c.stats.DroppedThrottle++
-			if c.trace != nil {
-				c.trace.Emit(obs.EvPrefetchThrottled, cycle, c.id, addr, int64(c.Throt.Degree()))
-			}
-			continue
+// issuePrefetches routes hardware-prefetcher candidates, each carrying
+// the source tag of the mechanism that generated it, into issuePrefetch.
+func (c *Core) issuePrefetches(cycle uint64, gwid, pc int, candidates []prefetch.Candidate) {
+	for _, cand := range candidates {
+		c.issuePrefetch(cycle, gwid, pc, cand.Source, cand.Addr)
+	}
+}
+
+// issuePrefetch filters one candidate through the throttle engine, the
+// pollution filter, the prefetch cache, and the MRQ, issuing it if it
+// survives. Prefetches are non-binding: on any resource shortage they are
+// dropped, never stalled. When attribution is attached, every candidate
+// is counted as generated and given exactly one pre-issue drop outcome or
+// an issue, under a provenance stamped with the generating source, the
+// training PC, the triggering warp, and the throttle degree at issue.
+func (c *Core) issuePrefetch(cycle uint64, gwid, pc int, src memreq.Source, addr uint64) {
+	addr = memreq.BlockAlign(addr, c.cfg.BlockBytes)
+	c.stats.PrefetchesGenerated++
+	var prov memreq.Provenance
+	if c.pf != nil {
+		prov = memreq.Provenance{
+			Source:  src,
+			Degree:  c.Throt.StampDegree(),
+			TrainPC: int32(pc),
+			Warp:    int32(gwid),
 		}
-		if c.Filter != nil && !c.Filter.Allow(pc) {
-			c.stats.DroppedByFilter++
-			if c.trace != nil {
-				c.trace.Emit(obs.EvPrefetchFiltered, cycle, c.id, addr, int64(pc))
-			}
-			continue
+		c.pf.Generated(prov)
+	}
+	if c.Throt != nil && !c.Throt.Allow() {
+		c.stats.DroppedThrottle++
+		c.pf.Record(prov, memreq.OutDroppedThrottle)
+		if c.trace != nil {
+			c.trace.Emit(obs.EvPrefetchThrottled, cycle, c.id, addr, int64(c.Throt.Degree()))
 		}
-		if c.PFCache.Contains(addr) {
-			c.stats.DroppedInCache++
-			continue
+		return
+	}
+	if c.Filter != nil && !c.Filter.Allow(pc) {
+		c.stats.DroppedByFilter++
+		c.pf.Record(prov, memreq.OutDroppedFilter)
+		if c.trace != nil {
+			c.trace.Emit(obs.EvPrefetchFiltered, cycle, c.id, addr, int64(pc))
 		}
-		r := c.pool.Get(addr, c.cfg.BlockBytes, memreq.Prefetch, c.id, gwid, pc, cycle)
-		switch c.MRQ.Add(r) {
-		case mrq.Accepted:
-			c.stats.PrefetchesIssued++
-			if c.trace != nil {
-				c.trace.Emit(obs.EvPrefetchIssued, cycle, c.id, addr, int64(pc))
-			}
-		case mrq.Merged:
-			c.stats.PrefetchMergedMRQ++
-			c.pool.Put(r)
-		case mrq.Rejected:
-			c.stats.DroppedQueueFull++
-			c.pool.Put(r)
+		return
+	}
+	if c.PFCache.Contains(addr) {
+		c.stats.DroppedInCache++
+		c.pf.Record(prov, memreq.OutDroppedInCache)
+		return
+	}
+	r := c.pool.Get(addr, c.cfg.BlockBytes, memreq.Prefetch, c.id, gwid, pc, cycle)
+	r.Prov = prov
+	switch c.MRQ.Add(r) {
+	case mrq.Accepted:
+		c.stats.PrefetchesIssued++
+		c.pf.Issued(prov)
+		if c.trace != nil {
+			c.trace.Emit(obs.EvPrefetchIssued, cycle, c.id, addr, int64(pc))
 		}
+	case mrq.Merged:
+		c.stats.PrefetchMergedMRQ++
+		r.Outcome = memreq.OutMergedMRQ
+		c.pf.Record(prov, memreq.OutMergedMRQ)
+		c.pool.Put(r)
+	case mrq.Rejected:
+		c.stats.DroppedQueueFull++
+		r.Outcome = memreq.OutDroppedQueueFull
+		c.pf.Record(prov, memreq.OutDroppedQueueFull)
+		c.pool.Put(r)
 	}
 }
 

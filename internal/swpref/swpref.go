@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"mtprefetch/internal/kernel"
+	"mtprefetch/internal/memreq"
 	"mtprefetch/internal/simerr"
 	"mtprefetch/internal/workload"
 )
@@ -88,6 +89,20 @@ type Stats struct {
 	RegistersAdded  int // per-thread register cost
 	OccupancyBefore int // MaxBlocksPerCore before
 	OccupancyAfter  int // MaxBlocksPerCore after (register pressure)
+}
+
+// SourceOf attributes an OpPrefetch access to the transform that inserted
+// it: applyIP marks its insertions with WarpAhead, applyStride with
+// IterAhead only — the distinction MT-SWP needs to split its two halves
+// in per-source reports.
+func SourceOf(a *kernel.Access) memreq.Source {
+	if a == nil {
+		return memreq.SrcNone
+	}
+	if a.WarpAhead > 0 {
+		return memreq.SrcSWIP
+	}
+	return memreq.SrcSWStride
 }
 
 // Apply returns a transformed copy of the spec. The input spec is never

@@ -75,6 +75,16 @@ func New(cfg Config) *Engine {
 // Degree reports the current throttle degree (0..5).
 func (e *Engine) Degree() int { return e.degree }
 
+// StampDegree is Degree for provenance stamping: it is nil-safe (cores
+// without a throttle engine stamp degree 0) and narrowed to the uint8 the
+// provenance struct stores.
+func (e *Engine) StampDegree() uint8 {
+	if e == nil {
+		return 0
+	}
+	return uint8(e.degree)
+}
+
 // Periods reports how many periods have been evaluated.
 func (e *Engine) Periods() uint64 { return e.periods }
 

@@ -259,7 +259,7 @@ func Replay(events []Event, p prefetch.Prefetcher, cacheBytes, ways, blockBytes 
 func ReplayObserved(events []Event, p prefetch.Prefetcher, cacheBytes, ways, blockBytes int, tr *obs.Tracer) ReplayResult {
 	var res ReplayResult
 	c := newReplayCache(cacheBytes, ways, blockBytes)
-	var cand []uint64
+	var cand []prefetch.Candidate
 	var foot []uint64
 	for i := range events {
 		e := &events[i]
@@ -284,10 +284,10 @@ func ReplayObserved(events []Event, p prefetch.Prefetcher, cacheBytes, ways, blo
 		cand = p.Observe(prefetch.Train{
 			PC: int(e.PC), WarpID: int(e.WarpID), Addr: e.Addr, Footprint: foot,
 		}, cand[:0])
-		for _, a := range cand {
+		for _, cd := range cand {
 			res.PrefetchesGenerated++
-			tr.Emit(obs.EvPrefetchIssued, uint64(i), int(e.WarpID), a, int64(e.PC))
-			c.fill(a &^ (uint64(blockBytes) - 1))
+			tr.Emit(obs.EvPrefetchIssued, uint64(i), int(e.WarpID), cd.Addr, int64(e.PC))
+			c.fill(cd.Addr &^ (uint64(blockBytes) - 1))
 		}
 	}
 	res.PrefetchesUseful = c.used
