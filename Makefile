@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race chaos bench bench-parallel bench-core pfreport
+.PHONY: check build test vet race chaos bench bench-parallel bench-core pfreport cpistack
 
 # The full gate used before committing: vet, build, race-enabled tests
 # (including the scaled-down parallel-harness sweep; see harness_test.go),
@@ -41,6 +41,15 @@ bench:
 pfreport:
 	$(GO) run ./cmd/mtpref -waves 1 -pfreport pfreport.jsonl run gstable > /dev/null
 	$(GO) run ./cmd/pfstat -bypc pfreport.jsonl
+
+# Cycle-accounting demo: run the GS-table sweep with CPI stacks enabled,
+# then render the per-run breakdown (each bucket's share of all
+# core-cycles) with cmd/cpistat. Leaves the raw JSONL in cpistack.jsonl
+# for further post-processing (e.g. cpistat -bycore, or the epoch time
+# series under the "cpiepoch"/"cpitol" records).
+cpistack:
+	$(GO) run ./cmd/mtpref -waves 1 -cpistack cpistack.jsonl run gstable > /dev/null
+	$(GO) run ./cmd/cpistat cpistack.jsonl
 
 # Records the parallel harness's wall-clock scaling: per-worker-count
 # sweep times plus the headline speedup-j4 metric.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mtprefetch/internal/core"
+	"mtprefetch/internal/obs"
 	"mtprefetch/internal/workload"
 )
 
@@ -28,14 +29,21 @@ func coreBenchSpec(b *testing.B, name string) *workload.Spec {
 }
 
 // benchCoreRun times complete simulations of one benchmark, reporting
-// simulation throughput (cycles/s) and how many cycles skipping elided.
+// simulation throughput (cycles/s), how many cycles skipping elided, and
+// the CPI stack: each bucket's share of all attributed core-cycles as a
+// `cpi%<bucket>` metric, so BENCH_core.json records where the simulated
+// machine's cycles went alongside how fast the simulator ran. The huge
+// CPIEpoch keeps the epoch machinery out of the timed loop; the
+// accounting itself is a handful of array increments per cycle.
 func benchCoreRun(b *testing.B, name string, noskip bool) {
 	spec := coreBenchSpec(b, name)
 	b.ReportAllocs()
 	var cycles, skipped uint64
+	var buckets [obs.NumBuckets]uint64
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
-		sim, err := core.New(core.Options{Workload: spec, NoCycleSkip: noskip})
+		sim, err := core.New(core.Options{Workload: spec, NoCycleSkip: noskip,
+			Obs: obs.New(obs.Config{CPIStack: true, CPIEpoch: 1 << 40})})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -45,6 +53,9 @@ func benchCoreRun(b *testing.B, name string, noskip bool) {
 		}
 		cycles += res.Cycles
 		skipped += sim.SkippedCycles()
+		for bk, v := range sim.CPIStack().Totals() {
+			buckets[bk] += v
+		}
 	}
 	elapsed := time.Since(start).Seconds()
 	if elapsed > 0 {
@@ -52,6 +63,16 @@ func benchCoreRun(b *testing.B, name string, noskip bool) {
 	}
 	if cycles > 0 {
 		b.ReportMetric(float64(skipped)/float64(cycles)*100, "%skipped")
+	}
+	var attributed uint64
+	for _, v := range buckets {
+		attributed += v
+	}
+	if attributed > 0 {
+		for bk, v := range buckets {
+			b.ReportMetric(float64(v)/float64(attributed)*100,
+				"cpi%"+obs.Bucket(bk).String())
+		}
 	}
 }
 

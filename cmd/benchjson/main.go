@@ -10,9 +10,11 @@
 // Each "Benchmark..." result line becomes one object carrying the
 // benchmark name, iteration count, ns/op, the -benchmem B/op and
 // allocs/op columns when present, and every custom b.ReportMetric pair
-// (e.g. cycles/s, %skipped, speedup) under "metrics". The goos/goarch/
-// pkg/cpu header lines are captured once at the top level. Lines that
-// are not benchmark results (PASS, ok, warnings) are ignored.
+// (e.g. cycles/s, %skipped, speedup) under "metrics". Cycle-accounting
+// metrics with a "cpi%<bucket>" unit are grouped into a nested
+// "cpi_stack" object keyed by bucket name. The goos/goarch/pkg/cpu
+// header lines are captured once at the top level. Lines that are not
+// benchmark results (PASS, ok, warnings) are ignored.
 package main
 
 import (
@@ -32,6 +34,11 @@ type result struct {
 	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	// CPIStack collects the cycle-accounting metrics the core benchmarks
+	// report with a "cpi%<bucket>" unit, keyed by bucket name, so the
+	// per-bucket stall percentages form one nested object instead of
+	// being scattered through Metrics.
+	CPIStack map[string]float64 `json:"cpi_stack,omitempty"`
 }
 
 // output is the whole document.
@@ -80,6 +87,13 @@ func parseLine(line string) (result, bool) {
 			v := val
 			r.AllocsPerOp = &v
 		default:
+			if bucket, ok := strings.CutPrefix(unit, "cpi%"); ok {
+				if r.CPIStack == nil {
+					r.CPIStack = map[string]float64{}
+				}
+				r.CPIStack[bucket] = val
+				continue
+			}
 			if r.Metrics == nil {
 				r.Metrics = map[string]float64{}
 			}

@@ -38,6 +38,26 @@ func TestParseLineRejectsNonBench(t *testing.T) {
 	}
 }
 
+func TestParseLineCPIStack(t *testing.T) {
+	r, ok := parseLine("BenchmarkCoreRun/cell/skip-8   \t       3\t   3424559 ns/op\t  61442619 cycles/s\t        52.10 cpi%issued\t        31.40 cpi%scoreboard\t         6.50 cpi%mrq_full")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if len(r.CPIStack) != 3 {
+		t.Fatalf("cpi_stack = %v, want 3 buckets", r.CPIStack)
+	}
+	if r.CPIStack["issued"] != 52.10 || r.CPIStack["scoreboard"] != 31.40 ||
+		r.CPIStack["mrq_full"] != 6.50 {
+		t.Errorf("cpi_stack = %v", r.CPIStack)
+	}
+	if _, ok := r.Metrics["cpi%issued"]; ok {
+		t.Error("cpi%issued leaked into the flat metrics map")
+	}
+	if r.Metrics["cycles/s"] != 61442619 {
+		t.Errorf("plain metrics lost: %v", r.Metrics)
+	}
+}
+
 func TestParseLineNoBenchmem(t *testing.T) {
 	r, ok := parseLine("BenchmarkCoreSkipSpeedup/cell-8 \t       3\t   8392261 ns/op\t         1.63 speedup")
 	if !ok {

@@ -1,0 +1,288 @@
+// Command cpistat post-processes cycle-accounting JSONL (written by
+// mtpref -cpistack, one "cpistack" line per core per run plus one
+// "cpisummary" trailer per run) into per-run CPI-stack tables: where
+// every core-cycle went, as a percentage per bucket.
+//
+// Usage:
+//
+//	cpistat [-run REGEX] [-bycore] [FILE...]
+//
+// With no FILE it reads stdin, so it composes with a sweep directly:
+//
+//	mtpref run gstable -cpistack /dev/stdout > /dev/null | cpistat
+//
+// Flags:
+//
+//	-run REGEX   only aggregate runs whose key matches REGEX
+//	-bycore      additionally print raw per-core bucket counts per run
+//
+// Exit codes: 0 ok; 1 read/parse failure or no matching cycle-accounting
+// records in the input; 2 usage error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+
+	"mtprefetch/internal/obs"
+)
+
+// record mirrors the per-core "cpistack" lines of the obs JSONL schema;
+// unknown record types ("cpiepoch", "cpitol", "cpisummary", epoch
+// samples from a mixed stream) are skipped — the per-core lifetime lines
+// carry everything the tables need.
+type record struct {
+	Record     string `json:"record"`
+	Run        string `json:"run"`
+	Core       int    `json:"core"`
+	Cycles     uint64 `json:"cycles"`
+	Issued     uint64 `json:"issued"`
+	Idle       uint64 `json:"idle"`
+	Scoreboard uint64 `json:"scoreboard"`
+	MRQFull    uint64 `json:"mrq_full"`
+	Throttled  uint64 `json:"throttled"`
+	Drain      uint64 `json:"drain"`
+}
+
+func (r *record) buckets() [obs.NumBuckets]uint64 {
+	var b [obs.NumBuckets]uint64
+	b[obs.BucketIssued] = r.Issued
+	b[obs.BucketIdle] = r.Idle
+	b[obs.BucketScoreboard] = r.Scoreboard
+	b[obs.BucketMRQFull] = r.MRQFull
+	b[obs.BucketThrottled] = r.Throttled
+	b[obs.BucketDrain] = r.Drain
+	return b
+}
+
+// coreRow is one core's accumulated buckets within a run.
+type coreRow struct {
+	buckets [obs.NumBuckets]uint64
+}
+
+// runAgg accumulates one run's CPI stack.
+type runAgg struct {
+	cores  []coreRow
+	totals [obs.NumBuckets]uint64
+}
+
+// aggregate accumulates cycle-accounting records across the input.
+type aggregate struct {
+	runs map[string]*runAgg
+}
+
+func newAggregate() *aggregate {
+	return &aggregate{runs: make(map[string]*runAgg)}
+}
+
+// read consumes one JSONL stream, keeping runs matched by filter (nil
+// keeps all).
+func (a *aggregate) read(r io.Reader, filter *regexp.Regexp) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("bad JSONL line: %w", err)
+		}
+		if rec.Record != "cpistack" {
+			continue
+		}
+		if filter != nil && !filter.MatchString(rec.Run) {
+			continue
+		}
+		ra := a.runs[rec.Run]
+		if ra == nil {
+			ra = &runAgg{}
+			a.runs[rec.Run] = ra
+		}
+		for len(ra.cores) <= rec.Core {
+			ra.cores = append(ra.cores, coreRow{})
+		}
+		for b, v := range rec.buckets() {
+			ra.cores[rec.Core].buckets[b] += v
+			ra.totals[b] += v
+		}
+	}
+	return sc.Err()
+}
+
+// empty reports whether the input contained no cycle-accounting records
+// at all (after filtering) — an empty table would otherwise pass
+// silently, hiding a wrong file, a typo'd -run regex, or a run without
+// -cpistack.
+func (a *aggregate) empty() bool { return len(a.runs) == 0 }
+
+// keys returns the run keys in sorted order, for deterministic output.
+func (a *aggregate) keys() []string {
+	keys := make([]string, 0, len(a.runs))
+	for k := range a.runs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sum(b [obs.NumBuckets]uint64) uint64 {
+	var n uint64
+	for _, v := range b {
+		n += v
+	}
+	return n
+}
+
+func pct(v, total uint64) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", float64(v)/float64(total)*100)
+}
+
+// writeSummary renders one row per run: core count, total attributed
+// cycles, and each bucket's share of them.
+func (a *aggregate) writeSummary(w io.Writer) error {
+	keys := a.keys()
+	if _, err := fmt.Fprintf(w, "%d run(s)\n", len(keys)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-36s %5s %14s", "run", "cores", "cycles"); err != nil {
+		return err
+	}
+	for b := obs.Bucket(0); b < obs.NumBuckets; b++ {
+		if _, err := fmt.Fprintf(w, " %11s", b.String()+"%"); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		ra := a.runs[k]
+		total := sum(ra.totals)
+		if _, err := fmt.Fprintf(w, "%-36s %5d %14d", k, len(ra.cores), total); err != nil {
+			return err
+		}
+		for _, v := range ra.totals {
+			if _, err := fmt.Fprintf(w, " %11s", pct(v, total)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeByCore renders raw per-core bucket counts for every run.
+func (a *aggregate) writeByCore(w io.Writer) error {
+	for _, k := range a.keys() {
+		ra := a.runs[k]
+		if _, err := fmt.Fprintf(w, "\n%s\n", k); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%-5s %14s", "core", "cycles"); err != nil {
+			return err
+		}
+		for b := obs.Bucket(0); b < obs.NumBuckets; b++ {
+			if _, err := fmt.Fprintf(w, " %12s", b); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		for i, c := range ra.cores {
+			if _, err := fmt.Fprintf(w, "%-5d %14d", i, sum(c.buckets)); err != nil {
+				return err
+			}
+			for _, v := range c.buckets {
+				if _, err := fmt.Fprintf(w, " %12d", v); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func main() {
+	fs := flag.NewFlagSet("cpistat", flag.ExitOnError)
+	runPat := fs.String("run", "", "only aggregate runs whose key matches this regexp")
+	byCore := fs.Bool("bycore", false, "additionally print raw per-core bucket counts")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cpistat [-run REGEX] [-bycore] [FILE...]\n")
+		os.Exit(2)
+	}
+	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
+
+	var filter *regexp.Regexp
+	if *runPat != "" {
+		re, err := regexp.Compile(*runPat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpistat:", err)
+			os.Exit(2)
+		}
+		filter = re
+	}
+
+	agg := newAggregate()
+	files := fs.Args()
+	if len(files) == 0 {
+		if err := agg.read(os.Stdin, filter); err != nil {
+			fmt.Fprintln(os.Stderr, "cpistat: stdin:", err)
+			os.Exit(1)
+		}
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpistat:", err)
+			os.Exit(1)
+		}
+		err = agg.read(f, filter)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpistat: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+
+	if agg.empty() {
+		msg := "cpistat: no cpistack records in input (was the run started with -cpistack?)"
+		if filter != nil {
+			msg = fmt.Sprintf("cpistat: no cpistack records match -run %q", *runPat)
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(1)
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	if err := agg.writeSummary(out); err != nil {
+		fmt.Fprintln(os.Stderr, "cpistat:", err)
+		os.Exit(1)
+	}
+	if *byCore {
+		if err := agg.writeByCore(out); err != nil {
+			fmt.Fprintln(os.Stderr, "cpistat:", err)
+			os.Exit(1)
+		}
+	}
+	if err := out.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "cpistat:", err)
+		os.Exit(1)
+	}
+}

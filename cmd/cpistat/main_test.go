@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// sample JSONL covering two runs of a two-core and a one-core config,
+// with the epoch/tolerance/summary records a real -cpistack stream
+// interleaves. Values are chosen so the derived shares are easy to
+// eyeball: run a totals 2000 cycles with 1000 issued (50.0%), 400
+// scoreboard (20.0%), 300 mrq_full (15.0%), 200 idle (10.0%), 100
+// drain (5.0%); run b is 100% issued.
+const sampleJSONL = `{"record":"cpiepoch","run":"hw/a/stride/true","cycle":512,"issued":100,"idle":0,"scoreboard":28,"mrq_full":0,"throttled":0,"drain":0}
+{"record":"cpitol","run":"hw/a/stride/true","cycle":512,"core":0,"ready_warps":3,"active_warps":5,"live_warps":8,"mrq_outstanding":2,"mrq_free":6,"oldest_fill_age":40}
+{"record":"cpistack","run":"hw/a/stride/true","core":0,"cycles":1000,"issued":600,"idle":100,"scoreboard":200,"mrq_full":100,"throttled":0,"drain":0}
+{"record":"cpistack","run":"hw/a/stride/true","core":1,"cycles":1000,"issued":400,"idle":100,"scoreboard":200,"mrq_full":200,"throttled":0,"drain":100}
+{"record":"cpisummary","run":"hw/a/stride/true","cores":2,"cycles":2000,"issued":1000,"idle":200,"scoreboard":400,"mrq_full":300,"throttled":0,"drain":100}
+{"record":"cpistack","run":"hw/b/none/false","core":0,"cycles":500,"issued":500,"idle":0,"scoreboard":0,"mrq_full":0,"throttled":0,"drain":0}
+{"record":"cpisummary","run":"hw/b/none/false","cores":1,"cycles":500,"issued":500,"idle":0,"scoreboard":0,"mrq_full":0,"throttled":0,"drain":0}
+`
+
+func TestAggregateSummaryTable(t *testing.T) {
+	agg := newAggregate()
+	if err := agg.read(strings.NewReader(sampleJSONL), nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := agg.writeSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2 run(s)") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header line, column line, two runs
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	var a, b string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "hw/a/") {
+			a = l
+		}
+		if strings.HasPrefix(l, "hw/b/") {
+			b = l
+		}
+	}
+	if a == "" || b == "" {
+		t.Fatalf("missing run rows:\n%s", out)
+	}
+	// run a: 2 cores, 2000 cycles; issued 50.0, scoreboard 20.0,
+	// mrq_full 15.0, idle 10.0, drain 5.0
+	for _, want := range []string{" 2 ", "2000", "50.0", "20.0", "15.0", "10.0", "5.0"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("run a row missing %q: %s", want, a)
+		}
+	}
+	for _, want := range []string{"500", "100.0", "0.0"} {
+		if !strings.Contains(b, want) {
+			t.Errorf("run b row missing %q: %s", want, b)
+		}
+	}
+}
+
+func TestAggregateRunFilter(t *testing.T) {
+	agg := newAggregate()
+	re := regexp.MustCompile(`stride`)
+	if err := agg.read(strings.NewReader(sampleJSONL), re); err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.runs) != 1 {
+		t.Fatalf("filter kept %d runs, want 1", len(agg.runs))
+	}
+	if _, ok := agg.runs["hw/b/none/false"]; ok {
+		t.Error("filtered-out run still aggregated")
+	}
+}
+
+func TestAggregateByCoreTable(t *testing.T) {
+	agg := newAggregate()
+	if err := agg.read(strings.NewReader(sampleJSONL), nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := agg.writeByCore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"hw/a/stride/true", "hw/b/none/false",
+		"scoreboard", "mrq_full", "600", "400"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("per-core table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAggregateMergesAcrossStreams(t *testing.T) {
+	agg := newAggregate()
+	if err := agg.read(strings.NewReader(sampleJSONL), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.read(strings.NewReader(sampleJSONL), nil); err != nil {
+		t.Fatal(err)
+	}
+	ra := agg.runs["hw/a/stride/true"]
+	if ra == nil || sum(ra.totals) != 4000 {
+		t.Fatalf("cross-stream merge: run a total = %v, want 4000", ra)
+	}
+	if len(ra.cores) != 2 {
+		t.Fatalf("run a cores = %d, want 2", len(ra.cores))
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	agg := newAggregate()
+	// Non-cpistack records only: the aggregate must report empty so main
+	// can exit nonzero instead of printing a zero-row table.
+	in := `{"record":"cpiepoch","run":"x","cycle":1}` + "\n" +
+		`{"record":"pfreport","run":"x","source":"stride-rpt"}` + "\n"
+	if err := agg.read(strings.NewReader(in), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !agg.empty() {
+		t.Error("aggregate with no cpistack records not reported empty")
+	}
+	full := newAggregate()
+	if err := full.read(strings.NewReader(sampleJSONL), nil); err != nil {
+		t.Fatal(err)
+	}
+	if full.empty() {
+		t.Error("aggregate with cpistack records reported empty")
+	}
+}
+
+func TestAggregateRejectsGarbage(t *testing.T) {
+	agg := newAggregate()
+	if err := agg.read(strings.NewReader("not json\n"), nil); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}

@@ -20,10 +20,18 @@
 //	-trace FILE     write a Chrome trace-event JSON (load in Perfetto / chrome://tracing)
 //	-pfreport FILE  write per-run prefetch attribution (per-source/per-PC
 //	                outcome counts) as JSONL; post-process with cmd/pfstat
+//	-cpistack FILE  write per-run CPI stacks (cycle accounting: where every
+//	                core-cycle went) and latency-tolerance snapshots as
+//	                JSONL; post-process with cmd/cpistat
 //	-http ADDR      serve live sweep introspection on ADDR (e.g. :6060):
 //	                "/" per-run progress JSON, "/metrics" Prometheus text,
-//	                "/debug/pprof" Go profiling
-//	-sample N       epoch length in cycles for -metrics sampling (default 10000)
+//	                "/healthz" run-state JSON, "/tolerance" live per-core
+//	                latency-tolerance snapshots, "/debug/pprof" Go profiling
+//	-http-snapshots N
+//	                keep the metrics snapshots of the last N finished runs
+//	                on the debug server (default 32)
+//	-sample N       epoch length in cycles for -metrics sampling and
+//	                -cpistack epochs (default 10000)
 //	-crashdir DIR   write a per-run crash-dump bundle for every failed simulation
 //	-noskip         visit every cycle instead of event-driven skipping (slower;
 //	                output is byte-identical either way — CI enforces it)
@@ -53,7 +61,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: mtpref [-waves N] [-full] [-j N] [-csv DIR] [-metrics FILE] [-trace FILE] [-pfreport FILE] [-http ADDR] [-sample N] [-crashdir DIR] [-noskip] [-cpuprofile FILE] [-memprofile FILE] {list | run <id>... | all}\n")
+	fmt.Fprintf(os.Stderr, "usage: mtpref [-waves N] [-full] [-j N] [-csv DIR] [-metrics FILE] [-trace FILE] [-pfreport FILE] [-cpistack FILE] [-http ADDR] [-http-snapshots N] [-sample N] [-crashdir DIR] [-noskip] [-cpuprofile FILE] [-memprofile FILE] {list | run <id>... | all}\n")
 	os.Exit(2)
 }
 
@@ -124,7 +132,9 @@ type cliFlags struct {
 	metricsPath string
 	tracePath   string
 	pfPath      string
+	cpiPath     string
 	httpAddr    string
+	httpSnaps   int
 	sample      uint64
 	crashDir    string
 	noSkip      bool
@@ -143,7 +153,9 @@ func defineFlags(fs *flag.FlagSet) *cliFlags {
 	fs.StringVar(&c.metricsPath, "metrics", "", "JSONL file for per-epoch metric samples")
 	fs.StringVar(&c.tracePath, "trace", "", "Chrome trace-event JSON file")
 	fs.StringVar(&c.pfPath, "pfreport", "", "JSONL file for per-run prefetch attribution (see cmd/pfstat)")
+	fs.StringVar(&c.cpiPath, "cpistack", "", "JSONL file for per-run CPI stacks and latency tolerance (see cmd/cpistat)")
 	fs.StringVar(&c.httpAddr, "http", "", "address for the live-introspection debug server (e.g. :6060)")
+	fs.IntVar(&c.httpSnaps, "http-snapshots", harness.DefaultSnapshotKeep, "finished-run metrics snapshots kept on the debug server")
 	fs.Uint64Var(&c.sample, "sample", 10_000, "epoch length in cycles for -metrics sampling")
 	fs.StringVar(&c.crashDir, "crashdir", "", "directory for per-run crash-dump bundles on failure")
 	fs.BoolVar(&c.noSkip, "noskip", false, "visit every cycle instead of event-driven skipping")
@@ -224,7 +236,8 @@ func main() {
 	mf, mw := newOutFile(cli.metricsPath)
 	tf, tw := newOutFile(cli.tracePath)
 	pf, pw := newOutFile(cli.pfPath)
-	sink, err := obs.NewSink(mw, tw, pw, obs.Config{SampleEvery: cli.sample})
+	cf, cw := newOutFile(cli.cpiPath)
+	sink, err := obs.NewSink(mw, tw, pw, cw, obs.Config{SampleEvery: cli.sample})
 	if err != nil {
 		fatal(err)
 	}
@@ -236,6 +249,7 @@ func main() {
 			fatal(err)
 		}
 		defer ds.Close()
+		ds.SetSnapshotKeep(cli.httpSnaps)
 		fmt.Fprintf(os.Stderr, "mtpref: debug server listening on http://%s\n", ds.Addr())
 		cfg.Debug = ds
 	}
@@ -287,6 +301,7 @@ func main() {
 	mf.close()
 	tf.close()
 	pf.close()
+	cf.close()
 	stopProfiles()
 
 	if len(degraded) > 0 {

@@ -17,7 +17,8 @@
 //	-run REGEX   only aggregate runs whose key matches REGEX
 //	-bypc        additionally print the per-(source, PC) breakdown
 //
-// Exit codes: 0 ok; 1 read/parse failure; 2 usage error.
+// Exit codes: 0 ok; 1 read/parse failure or no matching attribution
+// records in the input; 2 usage error.
 package main
 
 import (
@@ -143,6 +144,13 @@ func (a *aggregate) addBucket(rec *record) {
 	}
 }
 
+// empty reports whether the input contained no attribution records at
+// all (after filtering) — an empty table would otherwise pass silently,
+// hiding a wrong file, a typo'd -run regex, or a run without -pfreport.
+func (a *aggregate) empty() bool {
+	return len(a.runs) == 0 && len(a.perSrc) == 0
+}
+
 func addCounts(dst, src *obs.PFCounts) {
 	dst.Generated += src.Generated
 	dst.DroppedThrottle += src.DroppedThrottle
@@ -248,6 +256,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pfstat: %s: %v\n", path, err)
 			os.Exit(1)
 		}
+	}
+
+	if agg.empty() {
+		msg := "pfstat: no pfreport/pfsummary records in input (was the run started with -pfreport?)"
+		if filter != nil {
+			msg = fmt.Sprintf("pfstat: no pfreport/pfsummary records match -run %q", *runPat)
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(1)
 	}
 
 	out := bufio.NewWriter(os.Stdout)

@@ -116,6 +116,26 @@ func TestAggregateMergesAcrossRuns(t *testing.T) {
 	}
 }
 
+func TestAggregateEmpty(t *testing.T) {
+	agg := newAggregate()
+	// Records of other kinds only: the aggregate must report empty so
+	// main can exit nonzero instead of printing a zero-row table.
+	in := `{"record":"epoch","run":"x","cycle":1}` + "\n"
+	if err := agg.read(strings.NewReader(in), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !agg.empty() {
+		t.Error("aggregate with no attribution records not reported empty")
+	}
+	full := newAggregate()
+	if err := full.read(strings.NewReader(sampleJSONL), nil); err != nil {
+		t.Fatal(err)
+	}
+	if full.empty() {
+		t.Error("aggregate with attribution records reported empty")
+	}
+}
+
 func TestAggregateRejectsGarbage(t *testing.T) {
 	agg := newAggregate()
 	if err := agg.read(strings.NewReader("not json\n"), nil); err == nil {

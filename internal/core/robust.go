@@ -99,12 +99,17 @@ func (s *Simulator) checkProgress(cyc uint64) error {
 
 // checkInvariants runs the opt-in conservation sweep (Options.Checks):
 // per-core MRQ entry accounting, prefetch-cache line accounting,
-// scoreboard release balance, and NoC flit conservation.
+// scoreboard release balance, NoC flit conservation, and — with cycle
+// accounting on — CPI-stack cycle conservation. The sweep runs after
+// step 4 of the visited cycle cyc, so cycles 0..cyc are attributed.
 func (s *Simulator) checkInvariants(cyc uint64) error {
 	for _, c := range s.cores {
 		if err := c.CheckInvariants(cyc); err != nil {
 			return err
 		}
+	}
+	if err := s.checkCPIConservation(cyc + 1); err != nil {
+		return err
 	}
 	return s.net.CheckInvariants(cyc)
 }

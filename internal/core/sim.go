@@ -188,6 +188,10 @@ type Simulator struct {
 	reg     *obs.Registry // always non-nil; end-of-run aggregation reads it
 	sampler *obs.Sampler  // nil unless Options.Obs enabled sampling
 	pfrep   *obs.PFReport // nil unless Options.Obs enabled attribution
+	cpi     *obs.CPIStack // nil unless Options.Obs enabled cycle accounting
+	tracer  *obs.Tracer   // nil unless Options.Obs enabled tracing
+
+	tolBuf []obs.Tolerance // scratch for epoch tolerance snapshots
 
 	// Robustness state (see robust.go).
 	inj         FaultInjector
@@ -352,9 +356,14 @@ func New(o Options) (*Simulator, error) {
 		s.sampler = o.Obs.Sampler
 		tracer = o.Obs.Tracer
 		s.pfrep = o.Obs.PF
+		s.cpi = o.Obs.CPI
 	}
 	s.reg = reg
-	for _, c := range s.cores {
+	s.tracer = tracer
+	for i, c := range s.cores {
+		// Cycle accounting attaches before Observe so the per-bucket
+		// registry counters are registered.
+		c.AttachCPI(s.cpi.Core(i))
 		c.Observe(reg, tracer)
 		c.AttachPFReport(s.pfrep)
 	}
@@ -433,6 +442,9 @@ func (s *Simulator) Run() (*Result, error) {
 		// 4. Cores issue.
 		for _, c := range s.cores {
 			if s.inj != nil && s.inj.StallCore(cyc, c.ID()) {
+				// The suppressed cycle still gets a bucket (throttled) so
+				// cycle-accounting conservation holds under fault injection.
+				c.AccountExternalStall(1)
 				continue
 			}
 			if err := c.Cycle(cyc); err != nil {
@@ -443,9 +455,13 @@ func (s *Simulator) Run() (*Result, error) {
 		// 5. Cores inject MRQ traffic, round-robin, up to the NOC limit.
 		s.inject(cyc)
 
-		// 6. Epoch sampling (one comparison per cycle when enabled).
+		// 6. Epoch sampling (one comparison per cycle when enabled), for
+		// both the metrics sampler and the CPI-stack epoch series.
 		if s.sampler != nil {
 			s.sampler.Tick(cyc)
+		}
+		if s.cpi != nil && cyc >= s.cpi.NextTick() {
+			s.cpi.CloseEpoch(cyc, s.tolerances(cyc), s.tracer)
 		}
 
 		// 7. Robustness: invariant sweep and forward-progress watchdog.
@@ -470,6 +486,10 @@ func (s *Simulator) Run() (*Result, error) {
 			if err := s.checkPFConservation(); err != nil {
 				return nil, err
 			}
+			// Cycles 0..s.cycle inclusive were executed on this exit path.
+			if err := s.checkCPIConservation(s.cycle + 1); err != nil {
+				return nil, err
+			}
 			return res, nil
 		}
 
@@ -482,6 +502,14 @@ func (s *Simulator) Run() (*Result, error) {
 					target = s.opts.MaxCycles
 				}
 				if target > cyc+1 {
+					if s.cpi != nil {
+						// Bulk-attribute the span the per-cycle path will
+						// never visit; the cores' state is frozen across it,
+						// so the attribution is exact (smcore.AccountSpan).
+						for _, c := range s.cores {
+							c.AccountSpan(cyc+1, target)
+						}
+					}
 					s.skipped += target - (cyc + 1)
 					s.cycle = target - 1
 				}
@@ -491,6 +519,10 @@ func (s *Simulator) Run() (*Result, error) {
 	if s.done() {
 		res := s.collect()
 		if err := s.checkPFConservation(); err != nil {
+			return nil, err
+		}
+		// The loop exited at the cap: cycles 0..s.cycle-1 were executed.
+		if err := s.checkCPIConservation(s.cycle); err != nil {
 			return nil, err
 		}
 		return res, nil
@@ -569,6 +601,9 @@ func (s *Simulator) nextEventCycle(cyc uint64) uint64 {
 	if t := s.sampler.NextTick(); t < next {
 		next = t
 	}
+	if t := s.cpi.NextTick(); t < next {
+		next = t
+	}
 	if s.checkEvery != 0 && s.nextCheck < next {
 		next = s.nextCheck
 	}
@@ -599,6 +634,33 @@ func (s *Simulator) done() bool {
 // attribution was not enabled via Options.Obs.
 func (s *Simulator) PFReport() *obs.PFReport { return s.pfrep }
 
+// CPIStack exposes the run's cycle-accounting state, or nil when cycle
+// accounting was not enabled via Options.Obs.
+func (s *Simulator) CPIStack() *obs.CPIStack { return s.cpi }
+
+// tolerances snapshots every core's latency-tolerance signals into the
+// reusable scratch buffer (CPIStack.CloseEpoch copies what it keeps).
+func (s *Simulator) tolerances(cyc uint64) []obs.Tolerance {
+	s.tolBuf = s.tolBuf[:0]
+	for _, c := range s.cores {
+		s.tolBuf = append(s.tolBuf, c.Tolerance(cyc))
+	}
+	return s.tolBuf
+}
+
+// checkCPIConservation verifies (Options.Checks only) that every
+// executed cycle was attributed to exactly one CPI-stack bucket on every
+// core, skipped spans included.
+func (s *Simulator) checkCPIConservation(executed uint64) error {
+	if s.cpi == nil || !s.opts.Checks {
+		return nil
+	}
+	if ie := s.cpi.CheckConservation(s.cycle, executed); ie != nil {
+		return ie
+	}
+	return nil
+}
+
 // checkPFConservation verifies, after the attribution ledger is closed
 // by collect, that every generated prefetch received exactly one fate
 // (Options.Checks only). A double- or never-classified prefetch breaks
@@ -615,6 +677,9 @@ func (s *Simulator) checkPFConservation() error {
 
 func (s *Simulator) collect() *Result {
 	s.sampler.Finish(s.cycle)
+	if s.cpi != nil {
+		s.cpi.Finish(s.cycle, s.tolerances(s.cycle), s.tracer)
+	}
 	if s.pfrep != nil {
 		// Close the attribution ledger: still-resident unused lines get
 		// their terminal fate, and the coverage denominator is fixed.

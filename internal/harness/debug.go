@@ -4,6 +4,11 @@
 //	/            JSON summary: per-run progress in submission order
 //	/metrics     Prometheus text exposition: harness progress gauges plus
 //	             the final registry snapshot of recently finished runs
+//	/healthz     liveness JSON: run-state counts, uptime, and a status
+//	             that degrades when any run has failed
+//	/tolerance   live per-core latency-tolerance snapshots (ready warps,
+//	             MRQ headroom, oldest-fill age) of running simulations
+//	             with cycle accounting attached
 //	/debug/pprof the standard Go profiling endpoints
 //
 // The server only reads run states the runner publishes at start/finish
@@ -24,11 +29,12 @@ import (
 	"mtprefetch/internal/obs"
 )
 
-// snapshotKeep bounds how many finished runs keep their full registry
-// snapshot for /metrics; older runs keep only their progress line. A big
-// sweep has hundreds of runs with hundreds of instruments each, and the
-// recent tail is what live debugging looks at.
-const snapshotKeep = 32
+// DefaultSnapshotKeep bounds how many finished runs keep their full
+// registry snapshot for /metrics; older runs keep only their progress
+// line. A big sweep has hundreds of runs with hundreds of instruments
+// each, and the recent tail is what live debugging looks at. Override
+// per server with SetSnapshotKeep.
+const DefaultSnapshotKeep = 32
 
 // runState is one simulation's progress entry as served by the debug
 // endpoints.
@@ -40,6 +46,7 @@ type runState struct {
 
 	started time.Time
 	snap    []obs.SnapshotEntry // non-nil only for recent finished runs
+	cpi     *obs.CPIStack       // live cycle accounting while running
 }
 
 // DebugServer is the optional live-introspection HTTP server. A nil
@@ -53,8 +60,11 @@ type DebugServer struct {
 	order  []string // submission order, for stable listings
 	runs   map[string]*runState
 	snaps  []string // keys of finished runs still holding snapshots
+	keep   int      // snapshot cap (DefaultSnapshotKeep unless overridden)
 	failed int
 	done   int
+
+	started time.Time
 }
 
 // NewDebugServer starts the server on addr (":0" picks a free port; see
@@ -64,10 +74,13 @@ func NewDebugServer(addr string) (*DebugServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &DebugServer{ln: ln, runs: make(map[string]*runState)}
+	d := &DebugServer{ln: ln, runs: make(map[string]*runState),
+		keep: DefaultSnapshotKeep, started: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", d.serveRuns)
 	mux.HandleFunc("/metrics", d.serveMetrics)
+	mux.HandleFunc("/healthz", d.serveHealthz)
+	mux.HandleFunc("/tolerance", d.serveTolerance)
 	// net/http/pprof registers on http.DefaultServeMux; with a private mux
 	// the handlers must be wired explicitly.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -94,6 +107,46 @@ func (d *DebugServer) Close() error {
 		return nil
 	}
 	return d.srv.Close()
+}
+
+// SetSnapshotKeep overrides how many finished runs keep their registry
+// snapshot (negative values clamp to zero, dropping snapshots entirely).
+// Shrinking below the currently retained count evicts the oldest
+// snapshots immediately.
+func (d *DebugServer) SetSnapshotKeep(n int) {
+	if d == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.keep = n
+	for len(d.snaps) > d.keep {
+		d.runs[d.snaps[0]].snap = nil
+		d.snaps = d.snaps[1:]
+	}
+}
+
+// RunLive attaches a running simulation's cycle-accounting state so
+// /tolerance can serve its latest latency-tolerance snapshot while the
+// run is in flight. CPIStack publishes epoch snapshots under its own
+// mutex, so reads never touch the simulation's hot loop. A nil cpi (no
+// cycle accounting) is ignored.
+func (d *DebugServer) RunLive(key string, cpi *obs.CPIStack) {
+	if d == nil || cpi == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.runs[key]
+	if st == nil {
+		st = &runState{Key: key, Status: "running", started: time.Now()}
+		d.order = append(d.order, key)
+		d.runs[key] = st
+	}
+	st.cpi = cpi
 }
 
 // RunStarted publishes that the runner began executing key.
@@ -134,10 +187,10 @@ func (d *DebugServer) RunFinished(key string, snap []obs.SnapshotEntry, err erro
 		st.Status = "done"
 		d.done++
 	}
-	if snap != nil {
+	if snap != nil && d.keep > 0 {
 		st.snap = snap
 		d.snaps = append(d.snaps, key)
-		if len(d.snaps) > snapshotKeep {
+		if len(d.snaps) > d.keep {
 			d.runs[d.snaps[0]].snap = nil
 			d.snaps = d.snaps[1:]
 		}
@@ -196,6 +249,68 @@ func (d *DebugServer) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 				promName(e.Name), key, fmt.Sprint(e.Core), e.Component, e.Value)
 		}
 	}
+}
+
+// serveHealthz renders the liveness summary: overall status ("ok", or
+// "degraded" once any run has failed), run-state counts, and uptime.
+func (d *DebugServer) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	running := 0
+	for _, st := range d.runs {
+		if st.Status == "running" {
+			running++
+		}
+	}
+	out := struct {
+		Status        string  `json:"status"`
+		Running       int     `json:"running"`
+		Done          int     `json:"done"`
+		Failed        int     `json:"failed"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}{
+		Status:        "ok",
+		Running:       running,
+		Done:          d.done,
+		Failed:        d.failed,
+		UptimeSeconds: time.Since(d.started).Seconds(),
+	}
+	if d.failed > 0 {
+		out.Status = "degraded"
+	}
+	d.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out) //nolint:errcheck // client went away
+}
+
+// serveTolerance renders the latest latency-tolerance snapshot of every
+// run that attached live cycle accounting (RunLive), in submission
+// order. Finished runs keep their final snapshot.
+func (d *DebugServer) serveTolerance(w http.ResponseWriter, _ *http.Request) {
+	type tolRun struct {
+		Key    string          `json:"key"`
+		Status string          `json:"status"`
+		Cycle  uint64          `json:"cycle"`
+		Cores  []obs.Tolerance `json:"cores"`
+	}
+	d.mu.Lock()
+	var runs []tolRun
+	for _, k := range d.order {
+		st := d.runs[k]
+		if st.cpi == nil {
+			continue
+		}
+		cyc, tol := st.cpi.Tolerances()
+		runs = append(runs, tolRun{Key: k, Status: st.Status, Cycle: cyc, Cores: tol})
+	}
+	d.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Runs []tolRun `json:"runs"`
+	}{runs}) //nolint:errcheck // client went away
 }
 
 // promName sanitises a registry metric name ("smcore.demand_latency")

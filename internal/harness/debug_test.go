@@ -83,7 +83,7 @@ func TestDebugServerEndpoints(t *testing.T) {
 	}
 }
 
-// TestDebugServerSnapshotEviction: only the newest snapshotKeep finished
+// TestDebugServerSnapshotEviction: only the newest DefaultSnapshotKeep finished
 // runs keep snapshots; older runs keep their progress line but drop the
 // per-instrument payload from /metrics.
 func TestDebugServerSnapshotEviction(t *testing.T) {
@@ -92,7 +92,7 @@ func TestDebugServerSnapshotEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d.Close()
-	for i := 0; i < snapshotKeep+5; i++ {
+	for i := 0; i < DefaultSnapshotKeep+5; i++ {
 		key := fmt.Sprintf("run-%03d", i)
 		d.RunStarted(key)
 		d.RunFinished(key, []obs.SnapshotEntry{{Name: "x", Component: "c", Value: float64(i)}}, nil)
@@ -101,11 +101,125 @@ func TestDebugServerSnapshotEviction(t *testing.T) {
 	if strings.Contains(metrics, `run="run-000"`) {
 		t.Error("evicted run still in /metrics")
 	}
-	if !strings.Contains(metrics, fmt.Sprintf(`run="run-%03d"`, snapshotKeep+4)) {
+	if !strings.Contains(metrics, fmt.Sprintf(`run="run-%03d"`, DefaultSnapshotKeep+4)) {
 		t.Error("newest run missing from /metrics")
 	}
-	if !strings.Contains(metrics, fmt.Sprintf(`mtpref_runs{status="done"} %d`, snapshotKeep+5)) {
+	if !strings.Contains(metrics, fmt.Sprintf(`mtpref_runs{status="done"} %d`, DefaultSnapshotKeep+5)) {
 		t.Error("done count wrong after eviction")
+	}
+}
+
+// TestDebugServerHealthz: the liveness endpoint reports run-state counts
+// and degrades once a run fails.
+func TestDebugServerHealthz(t *testing.T) {
+	d, err := NewDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	base := "http://" + d.Addr()
+
+	var h struct {
+		Status        string  `json:"status"`
+		Running       int     `json:"running"`
+		Done          int     `json:"done"`
+		Failed        int     `json:"failed"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	read := func() {
+		t.Helper()
+		if err := json.Unmarshal([]byte(get(t, base+"/healthz")), &h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read()
+	if h.Status != "ok" || h.Running != 0 || h.UptimeSeconds < 0 {
+		t.Errorf("idle healthz = %+v", h)
+	}
+	d.RunStarted("a")
+	d.RunStarted("b")
+	d.RunFinished("a", nil, nil)
+	read()
+	if h.Status != "ok" || h.Running != 1 || h.Done != 1 {
+		t.Errorf("healthz after one finish = %+v", h)
+	}
+	d.RunFinished("b", nil, errors.New("boom"))
+	read()
+	if h.Status != "degraded" || h.Failed != 1 {
+		t.Errorf("healthz after failure = %+v", h)
+	}
+}
+
+// TestDebugServerTolerance: runs that attach live cycle accounting via
+// RunLive serve their latest per-core tolerance snapshot; runs without
+// it are skipped.
+func TestDebugServerTolerance(t *testing.T) {
+	d, err := NewDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	base := "http://" + d.Addr()
+
+	d.RunStarted("plain")
+	d.RunStarted("live")
+	cpi := obs.NewCPIStack(100)
+	cpi.Core(0)
+	cpi.CloseEpoch(100, []obs.Tolerance{{Core: 0, ReadyWarps: 4, MRQFree: 6, OldestFillAge: 17}}, nil)
+	d.RunLive("live", cpi)
+
+	var tol struct {
+		Runs []struct {
+			Key    string          `json:"key"`
+			Status string          `json:"status"`
+			Cycle  uint64          `json:"cycle"`
+			Cores  []obs.Tolerance `json:"cores"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(get(t, base+"/tolerance")), &tol); err != nil {
+		t.Fatal(err)
+	}
+	if len(tol.Runs) != 1 || tol.Runs[0].Key != "live" {
+		t.Fatalf("tolerance runs = %+v, want only the live run", tol.Runs)
+	}
+	r := tol.Runs[0]
+	if r.Cycle != 100 || len(r.Cores) != 1 || r.Cores[0].ReadyWarps != 4 ||
+		r.Cores[0].OldestFillAge != 17 {
+		t.Errorf("tolerance snapshot = %+v", r)
+	}
+}
+
+// TestDebugServerSetSnapshotKeep: shrinking the cap evicts the oldest
+// retained snapshots immediately, and a zero cap drops them all.
+func TestDebugServerSetSnapshotKeep(t *testing.T) {
+	d, err := NewDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("run-%d", i)
+		d.RunStarted(key)
+		d.RunFinished(key, []obs.SnapshotEntry{{Name: "x", Component: "c", Value: float64(i)}}, nil)
+	}
+	d.SetSnapshotKeep(2)
+	metrics := get(t, "http://"+d.Addr()+"/metrics")
+	for i := 0; i < 4; i++ {
+		if strings.Contains(metrics, fmt.Sprintf(`run="run-%d"`, i)) {
+			t.Errorf("run-%d snapshot survived shrink to 2", i)
+		}
+	}
+	for i := 4; i < 6; i++ {
+		if !strings.Contains(metrics, fmt.Sprintf(`run="run-%d"`, i)) {
+			t.Errorf("run-%d snapshot evicted despite keep=2", i)
+		}
+	}
+	d.SetSnapshotKeep(-1) // clamps to zero: no snapshots at all
+	d.RunStarted("late")
+	d.RunFinished("late", []obs.SnapshotEntry{{Name: "x", Component: "c", Value: 9}}, nil)
+	metrics = get(t, "http://"+d.Addr()+"/metrics")
+	if strings.Contains(metrics, `run="`) {
+		t.Errorf("snapshots served with keep=0:\n%s", metrics)
 	}
 }
 
@@ -114,7 +228,9 @@ func TestDebugServerSnapshotEviction(t *testing.T) {
 func TestDebugServerNilSafe(t *testing.T) {
 	var d *DebugServer
 	d.RunStarted("x")
+	d.RunLive("x", obs.NewCPIStack(0))
 	d.RunFinished("x", nil, nil)
+	d.SetSnapshotKeep(5)
 	if d.Addr() != "" {
 		t.Error("nil Addr not empty")
 	}

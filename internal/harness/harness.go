@@ -246,6 +246,12 @@ func (r *runner) runOne(key string, o core.Options) (res *core.Result, err error
 	}()
 	o.Obs = r.c.Obs.Observer()
 	o.NoCycleSkip = r.c.NoCycleSkip
+	if o.Obs != nil {
+		// Live latency-tolerance telemetry: CPIStack publishes epoch
+		// snapshots under its own mutex, so /tolerance reads are safe
+		// while the run is in flight.
+		r.c.Debug.RunLive(key, o.Obs.CPI)
+	}
 	if o.Obs == nil && r.c.CrashDir != "" {
 		// No sink, but crash dumps are wanted: attach a private tracer so
 		// a failure's dump includes the event tail leading up to it.

@@ -91,6 +91,25 @@ func (q *Queue) SetPFReport(p *obs.PFReport) { q.pf = p }
 // Outstanding reports occupied entries (queued or in flight).
 func (q *Queue) Outstanding() int { return q.outstanding }
 
+// Capacity reports the queue's entry capacity.
+func (q *Queue) Capacity() int { return q.capacity }
+
+// OldestIssueCycle reports the earliest issue cycle among in-flight
+// tracked entries, ok=false when none are in flight. It walks the entry
+// table, so it is for epoch-boundary telemetry (the latency-tolerance
+// snapshot's oldest-outstanding-fill age), not the per-cycle path.
+func (q *Queue) OldestIssueCycle() (uint64, bool) {
+	var oldest uint64
+	found := false
+	q.byAddr.Each(func(r *memreq.Request) {
+		if !found || r.IssueCycle < oldest {
+			oldest = r.IssueCycle
+			found = true
+		}
+	})
+	return oldest, found
+}
+
 // SendQueueLen reports requests accepted but not yet injected into the
 // network, for diagnostic snapshots.
 func (q *Queue) SendQueueLen() int { return len(q.sendq) }

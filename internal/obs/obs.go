@@ -31,6 +31,13 @@ type Config struct {
 	// PFReport enables prefetch provenance and lifecycle attribution
 	// (per-source/per-PC outcome accounting).
 	PFReport bool
+	// CPIStack enables per-core cycle accounting: every core-cycle is
+	// attributed to exactly one CPI-stack bucket, with an epoch time
+	// series and latency-tolerance snapshots (cpistack.go).
+	CPIStack bool
+	// CPIEpoch is the CPI-stack epoch length in cycles; 0 inherits
+	// SampleEvery when the sampler is on, else DefaultCPIEpoch.
+	CPIEpoch uint64
 }
 
 // DefaultTraceCapacity bounds the trace ring at a size that holds the
@@ -45,6 +52,7 @@ type Observer struct {
 	Sampler  *Sampler
 	Tracer   *Tracer
 	PF       *PFReport
+	CPI      *CPIStack
 }
 
 // New builds an Observer with a fresh Registry plus whatever cfg enables.
@@ -60,6 +68,13 @@ func New(cfg Config) *Observer {
 	}
 	if cfg.PFReport {
 		o.PF = NewPFReport()
+	}
+	if cfg.CPIStack {
+		every := cfg.CPIEpoch
+		if every == 0 {
+			every = cfg.SampleEvery // 0 falls through to DefaultCPIEpoch
+		}
+		o.CPI = NewCPIStack(every)
 	}
 	return o
 }

@@ -218,7 +218,7 @@ func TestSinkDisabled(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Error(err)
 	}
-	s2, err := NewSink(nil, nil, nil, Config{SampleEvery: 100})
+	s2, err := NewSink(nil, nil, nil, nil, Config{SampleEvery: 100})
 	if err != nil || s2 != nil {
 		t.Errorf("NewSink(nil, nil, nil) = %v, %v; want nil sink", s2, err)
 	}
@@ -226,7 +226,7 @@ func TestSinkDisabled(t *testing.T) {
 
 func TestSinkMultiRun(t *testing.T) {
 	var mbuf, tbuf bytes.Buffer
-	s, err := NewSink(&mbuf, &tbuf, nil, Config{SampleEvery: 50})
+	s, err := NewSink(&mbuf, &tbuf, nil, nil, Config{SampleEvery: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +279,7 @@ func sinkObserver(s *Sink, cycles uint64) *Observer {
 
 func TestSinkConcurrentFinish(t *testing.T) {
 	var mbuf, tbuf bytes.Buffer
-	s, err := NewSink(&mbuf, &tbuf, nil, Config{SampleEvery: 10})
+	s, err := NewSink(&mbuf, &tbuf, nil, nil, Config{SampleEvery: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +334,7 @@ func TestSinkConcurrentFinish(t *testing.T) {
 
 func TestSinkFinishIdempotent(t *testing.T) {
 	var mbuf, tbuf bytes.Buffer
-	s, err := NewSink(&mbuf, &tbuf, nil, Config{SampleEvery: 10})
+	s, err := NewSink(&mbuf, &tbuf, nil, nil, Config{SampleEvery: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +364,7 @@ func TestSinkFinishIdempotent(t *testing.T) {
 
 func TestSinkFinishAfterCloseIsNoop(t *testing.T) {
 	var mbuf, tbuf bytes.Buffer
-	s, err := NewSink(&mbuf, &tbuf, nil, Config{SampleEvery: 10})
+	s, err := NewSink(&mbuf, &tbuf, nil, nil, Config{SampleEvery: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

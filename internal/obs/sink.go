@@ -30,19 +30,20 @@ type Sink struct {
 	metrics  io.Writer
 	trace    *TraceWriter
 	pfreport io.Writer
+	cpistack io.Writer
 	runs     int
 	done     map[string]bool
 	closed   bool
 }
 
-// NewSink builds a sink. metrics, trace, and pfreport may each be nil to
-// disable that output; when all are nil the sink itself is nil
+// NewSink builds a sink. metrics, trace, pfreport, and cpistack may each
+// be nil to disable that output; when all are nil the sink itself is nil
 // (disabled).
-func NewSink(metrics, trace, pfreport io.Writer, cfg Config) (*Sink, error) {
-	if metrics == nil && trace == nil && pfreport == nil {
+func NewSink(metrics, trace, pfreport, cpistack io.Writer, cfg Config) (*Sink, error) {
+	if metrics == nil && trace == nil && pfreport == nil && cpistack == nil {
 		return nil, nil
 	}
-	s := &Sink{cfg: cfg, metrics: metrics, pfreport: pfreport, done: make(map[string]bool)}
+	s := &Sink{cfg: cfg, metrics: metrics, pfreport: pfreport, cpistack: cpistack, done: make(map[string]bool)}
 	if metrics == nil {
 		s.cfg.SampleEvery = 0
 	}
@@ -59,6 +60,7 @@ func NewSink(metrics, trace, pfreport io.Writer, cfg Config) (*Sink, error) {
 		s.cfg.TraceCapacity = 0
 	}
 	s.cfg.PFReport = pfreport != nil
+	s.cfg.CPIStack = cpistack != nil
 	return s, nil
 }
 
@@ -110,6 +112,15 @@ func (s *Sink) Finish(runKey string, o *Observer) error {
 		}
 		if _, err := s.pfreport.Write(buf.Bytes()); err != nil {
 			return fmt.Errorf("obs: pfreport for %s: %w", runKey, err)
+		}
+	}
+	if s.cpistack != nil && o.CPI != nil {
+		var buf bytes.Buffer
+		if err := o.CPI.WriteJSONL(&buf, runKey); err != nil {
+			return fmt.Errorf("obs: cpistack for %s: %w", runKey, err)
+		}
+		if _, err := s.cpistack.Write(buf.Bytes()); err != nil {
+			return fmt.Errorf("obs: cpistack for %s: %w", runKey, err)
 		}
 	}
 	s.runs++

@@ -37,6 +37,11 @@ const (
 	// EvDemandAccess: offline replay only — one warp demand access.
 	// Arg = block address, Arg2 = 1 when served by a prefetched block.
 	EvDemandAccess
+	// EvCPIBucket: a CPI-stack epoch closed. Arg = cycles the bucket
+	// absorbed during the epoch, Arg2 = the Bucket, Track = core. Emitted
+	// per bucket per core so the Chrome trace renders per-core counter
+	// tracks of where cycles go.
+	EvCPIBucket
 )
 
 var eventNames = [...]string{
@@ -48,6 +53,7 @@ var eventNames = [...]string{
 	EvThrottleDegree:    "throttle degree",
 	EvStridePromotion:   "stride promotion",
 	EvDemandAccess:      "demand access",
+	EvCPIBucket:         "cpi bucket",
 }
 
 // String implements fmt.Stringer.
@@ -236,6 +242,10 @@ func eventJSON(pid int, e *Event) map[string]any {
 		obj["name"] = fmt.Sprintf("throttle degree c%d", e.Track)
 		obj["ph"] = "C"
 		obj["args"] = map[string]any{"degree": e.Arg}
+	case EvCPIBucket:
+		obj["name"] = fmt.Sprintf("cpi %s c%d", Bucket(e.Arg2), e.Track)
+		obj["ph"] = "C"
+		obj["args"] = map[string]any{"cycles": e.Arg}
 	case EvStridePromotion:
 		obj["ph"] = "i"
 		obj["s"] = "t"

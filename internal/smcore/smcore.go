@@ -105,6 +105,15 @@ type Core struct {
 
 	trace *obs.Tracer   // nil: event tracing disabled
 	pf    *obs.PFReport // nil: prefetch attribution disabled
+	cpi   *obs.CoreCPI  // nil: cycle accounting disabled
+
+	// Cycle-accounting stall cause: stallMRQ counts warps stalled on MRQ
+	// capacity since the last wake (the capacity stall can only clear at
+	// a wake, so the count stays truthful for the whole stall window);
+	// memStall is the transient "this tryIssue failure was an MRQ
+	// capacity stall" flag that scanIssue consumes.
+	stallMRQ int
+	memStall bool
 
 	// pfOrigin maps resident prefetched-but-unused blocks to the PC that
 	// generated them, so the pollution filter can attribute outcomes.
@@ -236,6 +245,13 @@ func (c *Core) Observe(reg *obs.Registry, tr *obs.Tracer) {
 	reg.Counter("smcore.warps_completed", l, func() uint64 { return st.WarpsCompleted })
 	reg.Histogram("smcore.demand_latency", l, func() stats.Histogram { return st.DemandLatency.Histogram })
 	reg.Gauge("smcore.live_warps", l, func() float64 { return float64(c.liveWarps) })
+	if c.cpi != nil {
+		cb := c.cpi
+		for b := obs.Bucket(0); b < obs.NumBuckets; b++ {
+			b := b
+			reg.Counter("smcore.cpi_"+b.String(), l, func() uint64 { return cb.Buckets[b] })
+		}
+	}
 
 	c.PFCache.Register(reg, obs.Labels{Core: c.id, Component: "pfcache"})
 	c.MRQ.Register(reg, obs.Labels{Core: c.id, Component: "mrq"})
@@ -258,6 +274,84 @@ func (c *Core) AttachPFReport(p *obs.PFReport) {
 	c.pf = p
 	c.PFCache.SetPFReport(p)
 	c.MRQ.SetPFReport(p)
+}
+
+// AttachCPI enables cycle accounting: with a bucket set attached, every
+// call to Cycle (and every skipped cycle via AccountSpan) attributes
+// exactly one cycle to one bucket. Must be attached before Observe so
+// the per-bucket registry counters appear. A nil argument leaves
+// accounting off and the issue path pays only nil checks.
+func (c *Core) AttachCPI(b *obs.CoreCPI) { c.cpi = b }
+
+// stallBucket classifies a non-issuing cycle by the core's current stall
+// cause, read off the issue-index state (see the activeMask/issueMask
+// comment): no resident executing warp means the grid drained here
+// (idle) or warps are done but fills are outstanding (drain); otherwise
+// executing warps exist but all are stalled — on MRQ capacity if any
+// warp in this wake-window stalled there, else on the scoreboard.
+func (c *Core) stallBucket() obs.Bucket {
+	if c.activeCount == 0 {
+		if c.liveWarps > 0 {
+			return obs.BucketDrain
+		}
+		return obs.BucketIdle
+	}
+	if c.stallMRQ > 0 {
+		return obs.BucketMRQFull
+	}
+	return obs.BucketScoreboard
+}
+
+// AccountSpan bulk-attributes the skipped span [from, to) exactly as the
+// per-cycle path would have: cycles still inside the current issue
+// occupancy are issued bandwidth, the rest take the current stall
+// bucket. The skip contract (core.nextEventCycle) guarantees this
+// equals cycle-by-cycle attribution: with issue-eligible warps the span
+// cannot extend past issueBusyUntil (NextEvent caps it), and only a
+// visited cycle can change the stall cause.
+func (c *Core) AccountSpan(from, to uint64) {
+	if c.cpi == nil || to <= from {
+		return
+	}
+	if busy := c.issueBusyUntil; busy > from {
+		if busy > to {
+			busy = to
+		}
+		c.cpi.Buckets[obs.BucketIssued] += busy - from
+		from = busy
+	}
+	if to > from {
+		c.cpi.Buckets[c.stallBucket()] += to - from
+	}
+}
+
+// AccountExternalStall attributes n cycles in which the issue stage was
+// externally suppressed (a fault injector holding the core) to the
+// throttled bucket, keeping conservation exact under fault injection.
+func (c *Core) AccountExternalStall(n uint64) {
+	if c.cpi != nil {
+		c.cpi.Buckets[obs.BucketThrottled] += n
+	}
+}
+
+// Tolerance snapshots the core's latency-tolerance signals at cycle: how
+// many warps remain to switch to, how much MRQ/MSHR headroom is left to
+// issue into, and how long the oldest outstanding fill has been in
+// flight. Sampled at CPI-stack epoch boundaries, not per cycle.
+func (c *Core) Tolerance(cycle uint64) obs.Tolerance {
+	out := c.MRQ.Outstanding()
+	t := obs.Tolerance{
+		Core:           c.id,
+		ReadyWarps:     c.issuable,
+		ActiveWarps:    c.activeCount,
+		LiveWarps:      c.liveWarps,
+		MRQOutstanding: out,
+		MRQFree:        c.MRQ.Capacity() - out,
+	}
+	if oldest, ok := c.MRQ.OldestIssueCycle(); ok && cycle > oldest {
+		t.OldestFillAge = cycle - oldest
+	}
+	return t
 }
 
 // tryLaunchBlock fills block slot b with a fresh thread block if any.
@@ -293,6 +387,7 @@ func (c *Core) tryLaunchBlock(b int) {
 func (c *Core) wake() {
 	copy(c.issueMask, c.activeMask)
 	c.issuable = c.activeCount
+	c.stallMRQ = 0
 }
 
 // activateWarp enters a freshly launched warp into the issue index.
@@ -528,7 +623,18 @@ func (c *Core) Cycle(cycle uint64) error {
 		c.endPeriod(cycle)
 		c.nextPeriod = cycle + c.cfg.ThrottlePeriod
 	}
-	if cycle < c.issueBusyUntil || c.issuable == 0 {
+	if cycle < c.issueBusyUntil {
+		// Issue-stage occupancy from a previous instruction counts as
+		// useful issue bandwidth, not a stall.
+		if c.cpi != nil {
+			c.cpi.Buckets[obs.BucketIssued]++
+		}
+		return nil
+	}
+	if c.issuable == 0 {
+		if c.cpi != nil {
+			c.cpi.Buckets[c.stallBucket()]++
+		}
 		return nil
 	}
 	// Switch-on-stall scheduling (Section II-B): keep issuing from the
@@ -537,11 +643,22 @@ func (c *Core) Cycle(cycle uint64) error {
 	// prefetches their timeliness. The scan walks issueMask from rr with
 	// wraparound, in the same order as a full (rr+k)%n sweep.
 	issued, err := c.scanIssue(cycle, c.rr, len(c.warps))
-	if err != nil || issued {
+	if err != nil {
 		return err
 	}
-	_, err = c.scanIssue(cycle, 0, c.rr)
-	return err
+	if !issued {
+		if issued, err = c.scanIssue(cycle, 0, c.rr); err != nil {
+			return err
+		}
+	}
+	if c.cpi != nil {
+		if issued {
+			c.cpi.Buckets[obs.BucketIssued]++
+		} else {
+			c.cpi.Buckets[c.stallBucket()]++
+		}
+	}
+	return nil
 }
 
 // scanIssue walks the set bits of issueMask over slots [from, to) in
@@ -573,6 +690,10 @@ func (c *Core) scanIssue(cycle uint64, from, to int) (bool, error) {
 					c.rr = slot
 				}
 				return true, nil
+			}
+			if c.memStall {
+				c.memStall = false
+				c.stallMRQ++
 			}
 			c.stallWarp(slot)
 		}
@@ -640,6 +761,7 @@ func (c *Core) tryIssue(cycle uint64, slot int, w *warpState) (bool, error) {
 		}
 		if !issued {
 			c.stats.IssueStallFullMRQ++
+			c.memStall = true
 			return false, nil
 		}
 		c.stats.MemInstrs++
