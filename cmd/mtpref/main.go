@@ -15,6 +15,10 @@
 //	-j N            run up to N simulations concurrently per experiment
 //	                (default GOMAXPROCS; -j 1 is strictly sequential, and any
 //	                setting produces byte-identical tables)
+//	-shards N       step each simulation's cores in N parallel shards
+//	                (default 1 = serial; any setting produces byte-identical
+//	                output — CI enforces it). The worker pool is budgeted so
+//	                that workers x shards stays within GOMAXPROCS.
 //	-csv DIR        additionally write each table as <DIR>/<exp>-<n>.csv
 //	-metrics FILE   write per-epoch time series as JSONL (one line per run per epoch)
 //	-trace FILE     write a Chrome trace-event JSON (load in Perfetto / chrome://tracing)
@@ -61,7 +65,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: mtpref [-waves N] [-full] [-j N] [-csv DIR] [-metrics FILE] [-trace FILE] [-pfreport FILE] [-cpistack FILE] [-http ADDR] [-http-snapshots N] [-sample N] [-crashdir DIR] [-noskip] [-cpuprofile FILE] [-memprofile FILE] {list | run <id>... | all}\n")
+	fmt.Fprintf(os.Stderr, "usage: mtpref [-waves N] [-full] [-j N] [-shards N] [-csv DIR] [-metrics FILE] [-trace FILE] [-pfreport FILE] [-cpistack FILE] [-http ADDR] [-http-snapshots N] [-sample N] [-crashdir DIR] [-noskip] [-cpuprofile FILE] [-memprofile FILE] {list | run <id>... | all}\n")
 	os.Exit(2)
 }
 
@@ -127,6 +131,7 @@ func startProfiles(cpuPath, memPath string) {
 type cliFlags struct {
 	waves       int
 	workers     int
+	shards      int
 	full        bool
 	csvDir      string
 	metricsPath string
@@ -148,6 +153,7 @@ func defineFlags(fs *flag.FlagSet) *cliFlags {
 	c := &cliFlags{}
 	fs.IntVar(&c.waves, "waves", 2, "occupancy waves per core when scaling benchmarks")
 	fs.IntVar(&c.workers, "j", runtime.GOMAXPROCS(0), "concurrent simulations per experiment (1 = sequential)")
+	fs.IntVar(&c.shards, "shards", 1, "core shards per simulation (1 = serial core stepping; output is byte-identical at any value)")
 	fs.BoolVar(&c.full, "full", false, "run sensitivity sweeps on the full suite")
 	fs.StringVar(&c.csvDir, "csv", "", "directory to write per-table CSV files into")
 	fs.StringVar(&c.metricsPath, "metrics", "", "JSONL file for per-epoch metric samples")
@@ -230,7 +236,7 @@ func main() {
 
 	subset := !cli.full
 	cfg := harness.Config{Waves: cli.waves, Subset: &subset, Workers: cli.workers,
-		CrashDir: cli.crashDir, NoCycleSkip: cli.noSkip}
+		Shards: cli.shards, CrashDir: cli.crashDir, NoCycleSkip: cli.noSkip}
 	startProfiles(cli.cpuProfile, cli.memProfile)
 
 	mf, mw := newOutFile(cli.metricsPath)

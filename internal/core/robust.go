@@ -77,6 +77,18 @@ type EventSource interface {
 	NextEvent(cycle uint64) uint64
 }
 
+// ShardAware is the optional marker a FaultInjector implements to
+// declare StallCore safe for concurrent calls from the sharded
+// core-stepping phase — a pure function of the cycle and core id, or
+// otherwise free of unsynchronized mutation. (OnResponse needs no such
+// promise: response delivery always runs on the serial phase of the
+// cycle.) An injector that does not implement ShardAware forces
+// Options.Shards down to 1 for the run — always correct, just serial —
+// mirroring how a non-EventSource injector disables cycle skipping.
+type ShardAware interface {
+	ShardAware()
+}
+
 // checkProgress is the watchdog: called every watchWindow cycles, it
 // compares retired warp-instructions and delivered fills against the
 // previous window. Neither moving means no warp can ever become ready

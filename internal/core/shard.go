@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+
+	"mtprefetch/internal/smcore"
+)
+
+// This file implements deterministic intra-run core sharding: phase 4 of
+// the Run loop ("cores issue") partitioned into Options.Shards contiguous
+// core ranges that step concurrently between the machine-wide
+// synchronization points of one visited cycle. Everything before the
+// stepping phase (response delivery, DRAM) and after it (NoC injection,
+// sampling, watchdog, termination, event skipping) stays serial, so the
+// only state a shard can touch concurrently is what one core's Cycle
+// reaches. Per-core state (MRQ, prefetch cache, prefetcher, throttle
+// engine, CPI buckets, stats) is private by construction; the four
+// cross-core touch points are handled explicitly:
+//
+//   - the shared block dispatcher: launches are deferred during the
+//     stepping phase and flushed in core-index order at the barrier
+//     (smcore.DeferLaunches/FlushLaunches), which consumes the source in
+//     exactly the serial loop's order — one issue per core per cycle
+//     means at most one block completion per core per cycle;
+//   - the request free-list: each core gets a private pool, and the
+//     serial response phase recycles into the originating core's pool;
+//   - the attribution ledger: each core records into a private PFReport
+//     shard, merged at collection (the sorted JSONL output makes the
+//     merge order invisible);
+//   - the event tracer: emissions are staged per track during the phase
+//     and replayed in track order at the barrier (obs.Tracer.BeginStage),
+//     reproducing the serial emission order.
+//
+// Error and panic reduction is by shard index — shards hold contiguous
+// ascending core ranges, so the lowest-indexed failing shard holds the
+// lowest failing core, the one the serial loop would have aborted on.
+// Results, epoch/pfreport/cpistack JSONL, and trace streams are
+// byte-identical at any shard count; shard_test.go enforces it.
+
+// shardWorker is one shard's contiguous slice of cores plus its
+// per-round outcome, read by the coordinator after the barrier.
+type shardWorker struct {
+	cores []*smcore.Core
+	err   error // first in-shard core error, in core-index order
+
+	panicked   bool
+	panicVal   any
+	panicStack []byte
+}
+
+// shardPool steps the cores across persistent worker goroutines, one per
+// shard beyond the first; the coordinator (Run's goroutine) steps shard 0
+// itself. Synchronization is two atomics: gen released the workers into a
+// round (its bump publishes cycle and all pre-step simulator state), and
+// pending counts unfinished shards (its decrement publishes each shard's
+// cores and outcome back to the coordinator). A visited cycle costs well
+// under a microsecond, so the barrier spins briefly and then yields
+// rather than parking threads.
+type shardPool struct {
+	sim     *Simulator
+	workers []*shardWorker // workers[0] is stepped inline by the coordinator
+
+	cycle   atomic.Uint64
+	gen     atomic.Uint32
+	pending atomic.Int32
+	stop    atomic.Bool
+}
+
+// newShardPool partitions the cores into shards contiguous ranges (the
+// first len(cores)%shards ranges take one extra core).
+func newShardPool(s *Simulator, shards int) *shardPool {
+	p := &shardPool{sim: s}
+	n := len(s.cores)
+	base, rem := n/shards, n%shards
+	lo := 0
+	for i := 0; i < shards; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		p.workers = append(p.workers, &shardWorker{cores: s.cores[lo : lo+size]})
+		lo += size
+	}
+	return p
+}
+
+// start launches the worker goroutines; shutdown releases them. The
+// baseline generation is read on the coordinator before spawning: a
+// worker must not read it itself, or a gen bump landing between spawn
+// and first load would make the worker miss round one and deadlock the
+// barrier.
+func (p *shardPool) start() {
+	seen := p.gen.Load()
+	for _, w := range p.workers[1:] {
+		go p.run(w, seen)
+	}
+}
+
+func (p *shardPool) shutdown() { p.stop.Store(true) }
+
+// run is one worker goroutine: wait for a generation bump, step the
+// shard, signal completion.
+func (p *shardPool) run(w *shardWorker, seen uint32) {
+	for {
+		for spin := 0; ; spin++ {
+			if g := p.gen.Load(); g != seen {
+				seen = g
+				break
+			}
+			if p.stop.Load() {
+				return
+			}
+			if spin > 64 {
+				runtime.Gosched()
+			}
+		}
+		p.stepShard(w, p.cycle.Load())
+		p.pending.Add(-1)
+	}
+}
+
+// stepShard steps one shard's cores for one visited cycle — the body of
+// Run's phase 4 restricted to the shard. An error or panic stops the
+// shard immediately (the serial loop aborts at its first failing core)
+// and is parked on w for the coordinator's reduction.
+func (p *shardPool) stepShard(w *shardWorker, cyc uint64) {
+	w.err = nil
+	w.panicked, w.panicVal, w.panicStack = false, nil, nil
+	defer func() {
+		if r := recover(); r != nil {
+			w.panicked, w.panicVal, w.panicStack = true, r, debug.Stack()
+		}
+	}()
+	inj := p.sim.inj
+	for _, c := range w.cores {
+		if inj != nil && inj.StallCore(cyc, c.ID()) {
+			// The suppressed cycle still gets a bucket (throttled) so
+			// cycle-accounting conservation holds under fault injection.
+			c.AccountExternalStall(1)
+			continue
+		}
+		if err := c.Cycle(cyc); err != nil {
+			w.err = err
+			return
+		}
+	}
+}
+
+// step runs one visited cycle's core-stepping across all shards and
+// blocks until every shard reaches the barrier.
+func (p *shardPool) step(cyc uint64) {
+	p.cycle.Store(cyc)
+	p.pending.Store(int32(len(p.workers) - 1))
+	p.gen.Add(1) // release the workers; publishes cycle + pre-step state
+	p.stepShard(p.workers[0], cyc)
+	for spin := 0; p.pending.Load() != 0; spin++ {
+		if spin > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// reduce resolves the round's outcome deterministically: the failure of
+// the lowest-indexed shard wins, matching the serial loop, which would
+// have aborted at the lowest failing core before reaching any higher
+// one. A worker panic is re-raised on the coordinator's goroutine (with
+// the worker stack attached) so downstream panic isolation — the
+// harness's runOne recover — observes it like a serial panic, against a
+// machine quiesced at the barrier.
+func (p *shardPool) reduce() error {
+	for _, w := range p.workers {
+		if w.panicked {
+			panic(&shardPanic{val: w.panicVal, stack: w.panicStack})
+		}
+		if w.err != nil {
+			return w.err
+		}
+	}
+	return nil
+}
+
+// shardPanic carries a worker panic across the barrier for re-raising.
+type shardPanic struct {
+	val   any
+	stack []byte
+}
+
+func (sp *shardPanic) String() string {
+	return fmt.Sprintf("%v\n\nshard worker stack:\n%s", sp.val, sp.stack)
+}
+
+// stepSharded is phase 4 under sharding: switch the cross-core touch
+// points into deferred/staged mode, step the shards concurrently, then
+// replay the deferred interactions in core-index order — the serial
+// loop's order — before resolving errors.
+func (s *Simulator) stepSharded(cyc uint64) error {
+	for _, c := range s.cores {
+		c.DeferLaunches()
+	}
+	s.tracer.BeginStage(len(s.cores))
+	s.shardPool.step(cyc)
+	s.tracer.EndStage()
+	for _, c := range s.cores {
+		c.FlushLaunches()
+	}
+	return s.shardPool.reduce()
+}
+
+// Shards reports the effective shard count after validation: the clamp
+// to the core count, and the forced 1 when a fault injector is not
+// ShardAware (1 = serial core stepping).
+func (s *Simulator) Shards() int { return s.shards }

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mtprefetch/internal/obs"
+	"mtprefetch/internal/prefetch"
+	"mtprefetch/internal/swpref"
+)
+
+// This file holds the differential equivalence tests for intra-run core
+// sharding (shard.go): every supported configuration must produce a
+// Result and epoch/pfreport/cpistack/trace streams byte-identical to the
+// serial loop, at every shard count, with and without cycle skipping.
+// This is the contract that makes Options.Shards purely a wall-clock
+// knob.
+
+// runShard executes o at the given shard count and skip setting with the
+// full observability bundle enabled, returning the Result and every
+// output stream keyed by name.
+func runShard(t *testing.T, o Options, shards int, noskip bool) (*Result, map[string]string) {
+	t.Helper()
+	oo := o
+	oo.Shards = shards
+	oo.NoCycleSkip = noskip
+	oo.Obs = obs.New(obs.Config{SampleEvery: 512, TraceCapacity: 1 << 14,
+		PFReport: true, CPIStack: true, CPIEpoch: 512})
+	s, err := New(oo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards > 1 && s.Shards() < 2 {
+		t.Fatalf("shards=%d resolved to %d; the sharded path is not under test", shards, s.Shards())
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := map[string]string{}
+	var buf bytes.Buffer
+	if err := oo.Obs.Sampler.WriteJSONL(&buf, map[string]string{"bench": res.Benchmark}); err != nil {
+		t.Fatal(err)
+	}
+	streams["epoch"] = buf.String()
+	buf.Reset()
+	if err := s.PFReport().WriteJSONL(&buf, "run"); err != nil {
+		t.Fatal(err)
+	}
+	streams["pfreport"] = buf.String()
+	buf.Reset()
+	if err := s.CPIStack().WriteJSONL(&buf, "run"); err != nil {
+		t.Fatal(err)
+	}
+	streams["cpistack"] = buf.String()
+	buf.Reset()
+	tw, err := obs.NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.AddRun(1, "run", "core", oo.Obs.Tracer); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	streams["trace"] = buf.String()
+	return res, streams
+}
+
+// TestShardEquivalenceMatrix sweeps the full shards x skip grid against
+// the serial every-cycle reference for configurations exercising every
+// cross-core touch point: the shared dispatcher (any run), per-core
+// pools (any memory traffic), attribution shards (PFReport always on
+// here), and staged tracing (throttle-degree and prefetch events).
+func TestShardEquivalenceMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		opts func(t *testing.T) Options
+	}{
+		{"baseline", func(t *testing.T) Options {
+			return Options{Workload: tiny(t, "monte")}
+		}},
+		{"mthwp-throttle", func(t *testing.T) Options {
+			return Options{Workload: tiny(t, "conv"), Throttle: true,
+				Hardware: func() prefetch.Prefetcher {
+					return prefetch.NewMTHWP(prefetch.MTHWPOptions{EnableGS: true, EnableIP: true})
+				}}
+		}},
+		{"swp-stride-throttle", func(t *testing.T) Options {
+			return Options{Workload: tiny(t, "stream"), Software: swpref.Stride, Throttle: true}
+		}},
+		{"stride-filter-checks", func(t *testing.T) Options {
+			return Options{Workload: tiny(t, "mersenne"), PollutionFilter: true,
+				Checks: true, CheckEvery: 1000,
+				Hardware: func() prefetch.Prefetcher {
+					return prefetch.NewStrideRPT(prefetch.StrideRPTOptions{WarpAware: true})
+				}}
+		}},
+	}
+	grid := []struct {
+		shards int
+		noskip bool
+	}{
+		{1, true}, {4, false}, {4, true}, {8, false}, {8, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			o := tc.opts(t)
+			refRes, refStreams := runShard(t, o, 1, false)
+			for _, g := range grid {
+				label := fmt.Sprintf("shards=%d noskip=%v", g.shards, g.noskip)
+				res, streams := runShard(t, o, g.shards, g.noskip)
+				if !reflect.DeepEqual(res, refRes) {
+					t.Errorf("%s: Result diverges from the serial reference\ngot:  %+v\nwant: %+v",
+						label, res, refRes)
+				}
+				for name, ref := range refStreams {
+					if streams[name] != ref {
+						t.Errorf("%s: %s stream diverges from the serial reference", label, name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// shardAwareInjector promises shard-safety (it does nothing at all) but
+// not skip-awareness.
+type shardAwareInjector struct{ opaqueInjector }
+
+func (shardAwareInjector) ShardAware() {}
+
+// TestShardOptionResolution covers the Shards validation and effective
+// count: negative rejected, oversized clamped to the core count, opaque
+// injectors forcing serial stepping, shard-aware injectors keeping it.
+func TestShardOptionResolution(t *testing.T) {
+	if _, err := New(Options{Workload: tiny(t, "monte"), Shards: -1}); err == nil {
+		t.Error("Shards=-1 was accepted")
+	} else {
+		var oe *OptionError
+		if !errors.As(err, &oe) || oe.Field != "Shards" {
+			t.Errorf("Shards=-1 returned %v, want an OptionError naming Shards", err)
+		}
+	}
+	mk := func(o Options) *Simulator {
+		t.Helper()
+		o.Workload = tiny(t, "monte")
+		s, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if got := mk(Options{}).Shards(); got != 1 {
+		t.Errorf("default shards = %d, want 1", got)
+	}
+	if got := mk(Options{Shards: 64}).Shards(); got != 14 {
+		t.Errorf("Shards=64 resolved to %d, want the core count (14)", got)
+	}
+	if got := mk(Options{Shards: 4, Inject: opaqueInjector{}}).Shards(); got != 1 {
+		t.Errorf("opaque injector left shards at %d, want forced serial (1)", got)
+	}
+	s := mk(Options{Shards: 4, Inject: shardAwareInjector{}})
+	if got := s.Shards(); got != 4 {
+		t.Errorf("shard-aware injector resolved shards to %d, want 4", got)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatalf("sharded run with shard-aware injector failed: %v", err)
+	}
+}

@@ -85,6 +85,17 @@ type Options struct {
 	// for those tests, for benchmarking the machinery itself, and as an
 	// escape hatch while debugging NextEvent implementations.
 	NoCycleSkip bool
+	// Shards partitions the cores into this many contiguous groups that
+	// step concurrently between the machine-wide synchronization points
+	// of each visited cycle (see shard.go). 0 or 1 keeps the fully serial
+	// loop; values above the core count are clamped to it; negative
+	// values are rejected. Results and every observability stream are
+	// byte-identical at any shard count — the differential tests in
+	// shard_test.go enforce it — so the setting only trades wall clock
+	// for host cores. A fault injector that does not implement ShardAware
+	// forces serial stepping, like a non-EventSource injector disables
+	// cycle skipping.
+	Shards int
 	// Inject, when non-nil, perturbs the run for chaos testing; see
 	// FaultInjector. An injector that does not also implement EventSource
 	// disables cycle skipping for the run.
@@ -185,6 +196,12 @@ type Simulator struct {
 	injEvts EventSource // non-nil when the injector is skip-aware
 	skipped uint64      // cycles never visited
 
+	// Intra-run core sharding (see shard.go).
+	shards    int             // effective shard count (1: serial stepping)
+	shardPool *shardPool      // non-nil once Run starts with shards > 1
+	corePools []*memreq.Pool  // per-core free-lists when sharded (else nil)
+	pfShards  []*obs.PFReport // per-core attribution shards when sharded (else nil)
+
 	reg     *obs.Registry // always non-nil; end-of-run aggregation reads it
 	sampler *obs.Sampler  // nil unless Options.Obs enabled sampling
 	pfrep   *obs.PFReport // nil unless Options.Obs enabled attribution
@@ -246,6 +263,10 @@ func New(o Options) (*Simulator, error) {
 		return nil, &OptionError{Field: "CheckEvery",
 			Reason: "set without Checks; invariant sweeps are opt-in"}
 	}
+	if o.Shards < 0 {
+		return nil, &OptionError{Field: "Shards",
+			Reason: fmt.Sprintf("is negative (%d); use 0 or 1 for serial stepping", o.Shards)}
+	}
 	if o.Checks && o.CheckEvery == 0 {
 		o.CheckEvery = defaultCheckEvery
 	}
@@ -285,7 +306,6 @@ func New(o Options) (*Simulator, error) {
 		pool: memreq.NewPool(),
 	}
 	s.injBudget = cfg.MaxInjectPerCycle()
-	s.mem.SetPool(s.pool)
 	s.skipOK = !o.NoCycleSkip
 	if o.Inject != nil {
 		if es, ok := o.Inject.(EventSource); ok {
@@ -293,6 +313,32 @@ func New(o Options) (*Simulator, error) {
 		} else {
 			s.skipOK = false
 		}
+	}
+	s.shards = o.Shards
+	if s.shards < 2 {
+		s.shards = 1
+	}
+	if s.shards > cfg.NumCores {
+		s.shards = cfg.NumCores
+	}
+	if o.Inject != nil {
+		// StallCore is called from inside the stepping phase, so an
+		// injector must promise shard-safety or the run stays serial.
+		if _, ok := o.Inject.(ShardAware); !ok {
+			s.shards = 1
+		}
+	}
+	if s.shards > 1 {
+		// Each core issues from a private free-list so concurrent shards
+		// never share one; the serial response phase recycles into the
+		// originating core's pool (putResponse). DRAM gets no pool —
+		// nothing would ever drain the writebacks it retires into one.
+		s.corePools = make([]*memreq.Pool, cfg.NumCores)
+		for i := range s.corePools {
+			s.corePools[i] = memreq.NewPool()
+		}
+	} else {
+		s.mem.SetPool(s.pool)
 	}
 	if !o.NoWatchdog {
 		s.watchWindow = o.WatchdogWindow
@@ -335,7 +381,7 @@ func New(o Options) (*Simulator, error) {
 			Throttle:   eng,
 			Filter:     filter,
 			PerfectMem: o.PerfectMemory,
-			Pool:       s.pool,
+			Pool:       s.corePool(i),
 		})
 		if err != nil {
 			return nil, err
@@ -360,18 +406,54 @@ func New(o Options) (*Simulator, error) {
 	}
 	s.reg = reg
 	s.tracer = tracer
+	if s.pfrep != nil && s.shards > 1 {
+		// Attribution is recorded from inside the stepping phase, so each
+		// core gets a private shard; collect merges them into s.pfrep.
+		s.pfShards = make([]*obs.PFReport, len(s.cores))
+		for i := range s.pfShards {
+			s.pfShards[i] = obs.NewPFReport()
+		}
+	}
 	for i, c := range s.cores {
 		// Cycle accounting attaches before Observe so the per-bucket
 		// registry counters are registered.
 		c.AttachCPI(s.cpi.Core(i))
 		c.Observe(reg, tracer)
-		c.AttachPFReport(s.pfrep)
+		c.AttachPFReport(s.corePF(i))
 	}
 	s.mem.Register(reg, obs.Labels{Core: obs.CoreGlobal, Component: "dram"})
 	reg.Counter("core.cycles_skipped", obs.Labels{Core: obs.CoreGlobal, Component: "core"},
 		func() uint64 { return s.skipped })
 	s.sampler.Define(DefaultSeries()...)
 	return s, nil
+}
+
+// corePool returns the free-list core i issues from: the shared pool in
+// serial runs, the core's private pool under sharding.
+func (s *Simulator) corePool(i int) *memreq.Pool {
+	if s.corePools != nil {
+		return s.corePools[i]
+	}
+	return s.pool
+}
+
+// corePF returns the attribution report core i records into: the run's
+// report directly in serial runs, the core's private shard otherwise.
+func (s *Simulator) corePF(i int) *obs.PFReport {
+	if s.pfShards != nil {
+		return s.pfShards[i]
+	}
+	return s.pfrep
+}
+
+// putResponse recycles one delivered response into the pool its core
+// issues from, so per-core free-lists stay balanced under sharding.
+func (s *Simulator) putResponse(r *memreq.Request) {
+	if s.corePools != nil {
+		s.corePools[r.CoreID].Put(r)
+		return
+	}
+	s.pool.Put(r)
 }
 
 // SkippedCycles reports how many cycles event-driven skipping never
@@ -390,6 +472,13 @@ func (s *Simulator) SkippedCycles() uint64 { return s.skipped }
 // byte-identical with skipping on or off; Options.NoCycleSkip and the
 // differential tests in skip_test.go exist to keep that true.
 func (s *Simulator) Run() (*Result, error) {
+	if s.shards > 1 && s.shardPool == nil {
+		s.shardPool = newShardPool(s, s.shards)
+		s.shardPool.start()
+		// Clearing the pool keeps Run restartable: the workers exit on
+		// shutdown, so a retained pool would hang a later call's barrier.
+		defer func() { s.shardPool.shutdown(); s.shardPool = nil }()
+	}
 	var respBuf, reqBuf []*memreq.Request
 	for ; s.cycle < s.opts.MaxCycles; s.cycle++ {
 		cyc := s.cycle
@@ -413,7 +502,7 @@ func (s *Simulator) Run() (*Result, error) {
 			s.fills++
 			// Each response object is delivered exactly once and nothing
 			// retains it past Fill, so its lifecycle ends here.
-			s.pool.Put(r)
+			s.putResponse(r)
 		}
 
 		// 2. Requests reach the DRAM controllers (with backpressure).
@@ -439,16 +528,23 @@ func (s *Simulator) Run() (*Result, error) {
 			s.net.InjectResponse(cyc, r)
 		}
 
-		// 4. Cores issue.
-		for _, c := range s.cores {
-			if s.inj != nil && s.inj.StallCore(cyc, c.ID()) {
-				// The suppressed cycle still gets a bucket (throttled) so
-				// cycle-accounting conservation holds under fault injection.
-				c.AccountExternalStall(1)
-				continue
-			}
-			if err := c.Cycle(cyc); err != nil {
+		// 4. Cores issue — serially, or sharded across the worker pool
+		// with a barrier before phase 5 (shard.go; byte-identical).
+		if s.shardPool != nil {
+			if err := s.stepSharded(cyc); err != nil {
 				return nil, err
+			}
+		} else {
+			for _, c := range s.cores {
+				if s.inj != nil && s.inj.StallCore(cyc, c.ID()) {
+					// The suppressed cycle still gets a bucket (throttled) so
+					// cycle-accounting conservation holds under fault injection.
+					c.AccountExternalStall(1)
+					continue
+				}
+				if err := c.Cycle(cyc); err != nil {
+					return nil, err
+				}
 			}
 		}
 
@@ -685,6 +781,12 @@ func (s *Simulator) collect() *Result {
 		// their terminal fate, and the coverage denominator is fixed.
 		for _, c := range s.cores {
 			c.PFCache.DrainUnused()
+		}
+		// Sharded runs recorded into per-core shards; fold them into the
+		// run's report in core order (the order is invisible: counters
+		// are additive and the outputs sort their keys).
+		for _, sh := range s.pfShards {
+			s.pfrep.MergeFrom(sh)
 		}
 		s.pfrep.SetDemandTransactions(s.reg.Sum("smcore.demand_transactions"))
 	}

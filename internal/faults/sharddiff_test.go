@@ -1,0 +1,85 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"mtprefetch/internal/core"
+)
+
+// Differential fault tests for core sharding, mirroring skipdiff_test.go
+// on the other parallelism axis: injected failures must be detected at
+// the exact same cycle with identical diagnostics at any shard count.
+// The injector implements core.ShardAware (StallCore is pure), so
+// sharding stays enabled during chaos runs — these tests prove that is
+// safe, and that the watchdog/invariant sweeps on the serial phase see a
+// barrier-quiesced machine.
+
+// runSharded executes mk() at the given shard count and returns the
+// run's error.
+func runSharded(t *testing.T, mk func() core.Options, shards int) error {
+	t.Helper()
+	o := mk() // fresh injector per run: they are single-run
+	o.Shards = shards
+	_, err := core.Run(o)
+	return err
+}
+
+// TestChaosStalledWatchdogShardEquivalence: a livelock must abort at the
+// identical cycle with identical diagnostics at shard counts 1, 4, 8.
+func TestChaosStalledWatchdogShardEquivalence(t *testing.T) {
+	mk := func() core.Options {
+		return core.Options{
+			Workload:  chaosSpec(t),
+			MaxCycles: 500_000_000,
+			Inject:    StallIssue(0, 1000),
+		}
+	}
+	var ref *core.LivelockError
+	if err := runSharded(t, mk, 1); !errors.As(err, &ref) {
+		t.Fatalf("want LivelockError from the serial run, got %v", err)
+	}
+	for _, shards := range []int{4, 8} {
+		var got *core.LivelockError
+		if err := runSharded(t, mk, shards); !errors.As(err, &got) {
+			t.Fatalf("shards=%d: want LivelockError, got %v", shards, err)
+		}
+		if got.Cycle != ref.Cycle || got.Window != ref.Window {
+			t.Errorf("watchdog fired at cycle %d (window %d) with %d shards, %d (window %d) serial",
+				got.Cycle, got.Window, shards, ref.Cycle, ref.Window)
+		}
+		if got.Error() != ref.Error() {
+			t.Errorf("shards=%d: livelock diagnostics diverge:\nsharded: %s\nserial:  %s",
+				shards, got, ref)
+		}
+	}
+}
+
+// TestChaosDroppedCompletionShardEquivalence: the scoreboard-balance
+// invariant sweep must catch the lost wakeup at the same sweep cycle
+// with the same report at any shard count.
+func TestChaosDroppedCompletionShardEquivalence(t *testing.T) {
+	mk := func() core.Options {
+		return core.Options{
+			Workload:   chaosSpec(t),
+			MaxCycles:  50_000_000,
+			Checks:     true,
+			CheckEvery: 10_000,
+			Inject:     DropNthCompletion(1),
+		}
+	}
+	var ref *core.InvariantError
+	if err := runSharded(t, mk, 1); !errors.As(err, &ref) {
+		t.Fatalf("want InvariantError from the serial run, got %v", err)
+	}
+	for _, shards := range []int{4, 8} {
+		var got *core.InvariantError
+		if err := runSharded(t, mk, shards); !errors.As(err, &got) {
+			t.Fatalf("shards=%d: want InvariantError, got %v", shards, err)
+		}
+		if *got != *ref {
+			t.Errorf("shards=%d: invariant reports diverge:\nsharded: %+v\nserial:  %+v",
+				shards, *got, *ref)
+		}
+	}
+}

@@ -139,6 +139,14 @@ type Core struct {
 
 	pool *memreq.Pool // request free-list (nil: plain allocation)
 
+	// Deferred block launches (core sharding): while deferLaunch is set,
+	// tryLaunchBlock queues the freed slot instead of consuming the shared
+	// BlockSource — the only cross-core state the issue path touches — so
+	// Cycle is safe to run concurrently across cores. FlushLaunches
+	// replays the queue in the caller's (core-index) order.
+	deferLaunch   bool
+	pendingLaunch []int
+
 	// Throttle-period snapshots.
 	nextPeriod uint64
 	lastCache  cache.Stats
@@ -354,8 +362,31 @@ func (c *Core) Tolerance(cycle uint64) obs.Tolerance {
 	return t
 }
 
+// DeferLaunches makes tryLaunchBlock queue freed block slots instead of
+// drawing from the shared BlockSource. The simulator sets it around the
+// sharded core-stepping phase; FlushLaunches reverts it.
+func (c *Core) DeferLaunches() { c.deferLaunch = true }
+
+// FlushLaunches performs the launches deferred since DeferLaunches and
+// returns the core to immediate launching. The simulator calls it core
+// by core in index order after the stepping barrier; at most one block
+// per core can complete per cycle (one issue per cycle), so replaying
+// the queue in that order consumes the BlockSource exactly as the serial
+// core loop would have.
+func (c *Core) FlushLaunches() {
+	c.deferLaunch = false
+	for _, b := range c.pendingLaunch {
+		c.tryLaunchBlock(b)
+	}
+	c.pendingLaunch = c.pendingLaunch[:0]
+}
+
 // tryLaunchBlock fills block slot b with a fresh thread block if any.
 func (c *Core) tryLaunchBlock(b int) {
+	if c.deferLaunch {
+		c.pendingLaunch = append(c.pendingLaunch, b)
+		return
+	}
 	blockID, ok := c.src.NextBlock()
 	if !ok {
 		return
