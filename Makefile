@@ -13,11 +13,14 @@ check:
 
 # Fault-injection suite: injected livelocks, dropped completions, and
 # corrupted stride tables must be caught by the watchdog / invariant
-# checker (internal/faults), and a poisoned run must degrade to ERR
-# cells without disturbing its siblings (internal/harness).
+# checker (internal/faults); a poisoned run must degrade to ERR cells
+# without disturbing its siblings (internal/harness); and the result
+# store must quarantine corruption, survive torn writes and kill-9,
+# retry transient faults to byte-identical output, and drain gracefully
+# (internal/store, internal/faults, internal/harness).
 chaos:
-	$(GO) test -timeout 10m -run 'Chaos|Stalled|Dropped|Corrupt|CleanRun|Poisoned|CrashDump|Taxonomy' \
-		./internal/faults/... ./internal/harness/...
+	$(GO) test -timeout 10m -run 'Chaos|Stalled|Dropped|Corrupt|CleanRun|Poisoned|CrashDump|Taxonomy|Store|Torn|Quarantine|Resume|Flake|Retry|Drain|RunTimeout|Sanitize' \
+		./internal/faults/... ./internal/harness/... ./internal/store/...
 
 build:
 	$(GO) build ./...

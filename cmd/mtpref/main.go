@@ -39,12 +39,29 @@
 //	-crashdir DIR   write a per-run crash-dump bundle for every failed simulation
 //	-noskip         visit every cycle instead of event-driven skipping (slower;
 //	                output is byte-identical either way — CI enforces it)
+//	-store DIR      persist every completed run in a crash-safe
+//	                content-addressed result store under DIR; reruns and
+//	                resumed sweeps serve matching runs from disk
+//	                byte-identically instead of re-simulating (CI enforces
+//	                it). Corrupt entries are quarantined and re-simulated.
+//	-run-timeout D  wall-clock deadline per simulation (e.g. 5m; 0 = none),
+//	                complementing the cycle-domain livelock watchdog
+//	-retries N      retries per run for transient failures (store I/O,
+//	                injected chaos faults), with deterministic seeded
+//	                exponential backoff (default 2)
 //	-cpuprofile F   write a pprof CPU profile of the whole invocation to F
 //	-memprofile F   write a pprof heap profile (taken at exit) to F
 //
+// The first SIGTERM/SIGINT drains gracefully: no new simulations start,
+// in-flight ones cancel at their next poll barrier, results completed so
+// far are committed to -store, and the aborted run keys are listed; a
+// second signal exits immediately. Re-running the same command resumes
+// from exactly the missing runs.
+//
 // Exit codes: 0 all experiments clean; 1 fatal error (nothing usable was
 // produced); 2 usage error; 3 degraded (every experiment printed its
-// tables, but some runs failed and rendered as ERR cells).
+// tables, but some runs failed and rendered as ERR cells); 4 drained (a
+// signal interrupted the sweep; completed results were committed).
 package main
 
 import (
@@ -62,10 +79,11 @@ import (
 
 	"mtprefetch/internal/harness"
 	"mtprefetch/internal/obs"
+	"mtprefetch/internal/store"
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: mtpref [-waves N] [-full] [-j N] [-shards N] [-csv DIR] [-metrics FILE] [-trace FILE] [-pfreport FILE] [-cpistack FILE] [-http ADDR] [-http-snapshots N] [-sample N] [-crashdir DIR] [-noskip] [-cpuprofile FILE] [-memprofile FILE] {list | run <id>... | all}\n")
+	fmt.Fprintf(os.Stderr, "usage: mtpref [-waves N] [-full] [-j N] [-shards N] [-csv DIR] [-metrics FILE] [-trace FILE] [-pfreport FILE] [-cpistack FILE] [-http ADDR] [-http-snapshots N] [-sample N] [-crashdir DIR] [-noskip] [-store DIR] [-run-timeout D] [-retries N] [-cpuprofile FILE] [-memprofile FILE] {list | run <id>... | all}\n")
 	os.Exit(2)
 }
 
@@ -143,6 +161,9 @@ type cliFlags struct {
 	sample      uint64
 	crashDir    string
 	noSkip      bool
+	storeDir    string
+	runTimeout  time.Duration
+	retries     int
 	cpuProfile  string
 	memProfile  string
 }
@@ -165,6 +186,9 @@ func defineFlags(fs *flag.FlagSet) *cliFlags {
 	fs.Uint64Var(&c.sample, "sample", 10_000, "epoch length in cycles for -metrics sampling")
 	fs.StringVar(&c.crashDir, "crashdir", "", "directory for per-run crash-dump bundles on failure")
 	fs.BoolVar(&c.noSkip, "noskip", false, "visit every cycle instead of event-driven skipping")
+	fs.StringVar(&c.storeDir, "store", "", "directory for the crash-safe persistent result store (resumes sweeps byte-identically)")
+	fs.DurationVar(&c.runTimeout, "run-timeout", 0, "wall-clock deadline per simulation (0 = none)")
+	fs.IntVar(&c.retries, "retries", 2, "retries per run for transient failures (seeded exponential backoff)")
 	fs.StringVar(&c.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&c.memProfile, "memprofile", "", "write a pprof heap profile (at exit) to this file")
 	return c
@@ -236,8 +260,26 @@ func main() {
 
 	subset := !cli.full
 	cfg := harness.Config{Waves: cli.waves, Subset: &subset, Workers: cli.workers,
-		Shards: cli.shards, CrashDir: cli.crashDir, NoCycleSkip: cli.noSkip}
+		Shards: cli.shards, CrashDir: cli.crashDir, NoCycleSkip: cli.noSkip,
+		RunTimeout: cli.runTimeout, Retries: cli.retries}
 	startProfiles(cli.cpuProfile, cli.memProfile)
+
+	if cli.storeDir != "" {
+		st, err := store.Open(cli.storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Store = st
+	}
+
+	// Graceful drain: the first SIGTERM/SIGINT stops new simulations and
+	// cancels in-flight ones at their next poll barrier; completed
+	// results stay committed to -store, so re-running resumes exactly
+	// the aborted cells. A second signal exits immediately.
+	lc := harness.NewLifecycle()
+	cfg.Lifecycle = lc
+	stopSignals := lc.HandleSignals()
+	defer stopSignals()
 
 	mf, mw := newOutFile(cli.metricsPath)
 	tf, tw := newOutFile(cli.tracePath)
@@ -256,6 +298,7 @@ func main() {
 		}
 		defer ds.Close()
 		ds.SetSnapshotKeep(cli.httpSnaps)
+		ds.SetStore(cfg.Store)
 		fmt.Fprintf(os.Stderr, "mtpref: debug server listening on http://%s\n", ds.Addr())
 		cfg.Debug = ds
 	}
@@ -310,6 +353,16 @@ func main() {
 	cf.close()
 	stopProfiles()
 
+	// A drain outranks the degraded exit: the aborted runs render as ERR
+	// cells too, but they are interruptions to resume, not failures.
+	if aborted := lc.Aborted(); len(aborted) > 0 {
+		fmt.Fprintf(os.Stderr, "mtpref: drained: %d run(s) aborted:\n", len(aborted))
+		for _, k := range aborted {
+			fmt.Fprintf(os.Stderr, "  %s\n", k)
+		}
+		fmt.Fprintf(os.Stderr, "mtpref: completed results were committed; re-run with -store to resume\n")
+		os.Exit(4)
+	}
 	if len(degraded) > 0 {
 		fmt.Fprintf(os.Stderr, "mtpref: %d experiment(s) had failed runs:\n", len(degraded))
 		for _, err := range degraded {

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"runtime"
 	"testing"
+	"time"
 )
 
 // parse runs the production flag definitions over argv with errors
@@ -97,5 +98,44 @@ func TestParseBadFlag(t *testing.T) {
 		if _, _, err := parse(t, argv); err == nil {
 			t.Errorf("parse(%v) succeeded, want error", argv)
 		}
+	}
+}
+
+func TestParseStoreFlags(t *testing.T) {
+	cli, pos, err := parse(t, []string{"run", "fig10", "-store", "/tmp/results",
+		"-run-timeout", "5m", "-retries", "7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pos, []string{"run", "fig10"}) {
+		t.Errorf("positionals = %v", pos)
+	}
+	if cli.storeDir != "/tmp/results" {
+		t.Errorf("storeDir = %q, want /tmp/results", cli.storeDir)
+	}
+	if cli.runTimeout != 5*time.Minute {
+		t.Errorf("runTimeout = %v, want 5m", cli.runTimeout)
+	}
+	if cli.retries != 7 {
+		t.Errorf("retries = %d, want 7", cli.retries)
+	}
+}
+
+func TestParseStoreDefaults(t *testing.T) {
+	cli, _, err := parse(t, []string{"list"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cli.storeDir != "" || cli.runTimeout != 0 {
+		t.Errorf("store defaults = %+v, want disabled store and no deadline", cli)
+	}
+	if cli.retries != 2 {
+		t.Errorf("default retries = %d, want 2", cli.retries)
+	}
+}
+
+func TestParseBadDuration(t *testing.T) {
+	if _, _, err := parse(t, []string{"run", "fig10", "-run-timeout", "soon"}); err == nil {
+		t.Error("parse accepted a malformed -run-timeout")
 	}
 }

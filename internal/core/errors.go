@@ -28,6 +28,11 @@ import (
 // aborts a run for lack of forward progress.
 var ErrLivelock = errors.New("no forward progress (livelock)")
 
+// ErrCanceled is the sentinel matched by errors.Is when a run was
+// aborted through its Options.Ctx — a per-run wall-clock deadline or a
+// harness drain — rather than by anything the simulated machine did.
+var ErrCanceled = errors.New("run canceled")
+
 // ErrInvariant re-exports simerr.ErrInvariant so callers can match
 // invariant failures without importing the leaf package.
 var ErrInvariant = simerr.ErrInvariant
@@ -77,3 +82,23 @@ func (e *LivelockError) Error() string {
 
 // Unwrap makes errors.Is(err, ErrLivelock) true.
 func (e *LivelockError) Unwrap() error { return ErrLivelock }
+
+// CanceledError is the abort raised when Options.Ctx is done: the run's
+// wall-clock deadline expired or its caller began draining. It carries
+// the simulation cycle at which the cancellation poll noticed, so a
+// resumable sweep can report how far the aborted run got.
+type CanceledError struct {
+	Benchmark string
+	Cycle     uint64 // cycle at which the poll observed the cancellation
+	Cause     error  // ctx.Err(): context.Canceled or context.DeadlineExceeded
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("core: %s canceled at cycle %d: %v", e.Benchmark, e.Cycle, e.Cause)
+}
+
+// Unwrap exposes both the ErrCanceled sentinel and the context cause,
+// so errors.Is matches ErrCanceled, context.Canceled, and
+// context.DeadlineExceeded as appropriate.
+func (e *CanceledError) Unwrap() []error { return []error{ErrCanceled, e.Cause} }

@@ -77,6 +77,19 @@ type EventSource interface {
 	NextEvent(cycle uint64) uint64
 }
 
+// RunFaulter is the optional interface a FaultInjector implements to
+// abort the whole run with an error of its choosing — the hook chaos
+// tests use to simulate transient environmental failures (a flaky run
+// that heals on retry returns simerr.Transient errors for its first N
+// executions, then nil forever). RunFault is polled once per visited
+// cycle on the serial phase; the first non-nil error aborts the run
+// immediately. An injector whose fault must fire at a specific cycle
+// should also report that cycle from NextEvent so event-driven skipping
+// visits it.
+type RunFaulter interface {
+	RunFault(cycle uint64) error
+}
+
 // ShardAware is the optional marker a FaultInjector implements to
 // declare StallCore safe for concurrent calls from the sharded
 // core-stepping phase — a pure function of the cycle and core id, or

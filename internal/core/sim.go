@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mtprefetch/internal/config"
@@ -100,6 +101,16 @@ type Options struct {
 	// FaultInjector. An injector that does not also implement EventSource
 	// disables cycle skipping for the run.
 	Inject FaultInjector
+	// Ctx, when non-nil, bounds the run in wall-clock terms: Run polls
+	// the context at a fixed cycle cadence and aborts with a
+	// *CanceledError (wrapping the context cause) once it is done. This
+	// complements the cycle-domain watchdog — a deadline context caps
+	// elapsed time regardless of how fast cycles advance, and a canceled
+	// context is how the harness drains in-flight runs at the next
+	// barrier. Nil means the run can only end through the simulation
+	// itself (completion, MaxCycles, watchdog, invariants) and the poll
+	// costs nothing.
+	Ctx context.Context
 	// Obs attaches an observability bundle (epoch sampler and/or event
 	// tracer; see obs.New). Nil runs with just the internal metrics
 	// registry, which costs nothing on the simulation's hot path.
@@ -212,7 +223,10 @@ type Simulator struct {
 
 	// Robustness state (see robust.go).
 	inj         FaultInjector
-	watchWindow uint64 // 0 disables the watchdog
+	runFault    RunFaulter      // non-nil when the injector can abort the run
+	ctx         context.Context // nil unless Options.Ctx bounded the run
+	nextCtx     uint64          // next cycle the cancellation poll is due
+	watchWindow uint64          // 0 disables the watchdog
 	nextWatch   uint64
 	fills       uint64 // memory fills delivered to cores
 	lastInstr   uint64 // watchdog: instructions at last window boundary
@@ -235,6 +249,14 @@ const defaultWatchdogWindow = 1_000_000
 // defaultCheckEvery is the invariant-sweep period when Options.Checks
 // is set without an explicit CheckEvery.
 const defaultCheckEvery = 65_536
+
+// ctxPollEvery is the cancellation-poll cadence in visited cycles when
+// Options.Ctx is set. It is an observer deadline like the watchdog
+// window: it clamps event-driven skips (so a mostly-idle run still
+// notices cancellation promptly) but visiting the poll cycle is a
+// semantic no-op, keeping results byte-identical whether or not a
+// context is attached — unless, of course, the context fires.
+const ctxPollEvery = 4096
 
 // New builds a simulator; see Options. Rejected options are reported as
 // *OptionError with the offending field named.
@@ -313,7 +335,11 @@ func New(o Options) (*Simulator, error) {
 		} else {
 			s.skipOK = false
 		}
+		if rf, ok := o.Inject.(RunFaulter); ok {
+			s.runFault = rf
+		}
 	}
+	s.ctx = o.Ctx
 	s.shards = o.Shards
 	if s.shards < 2 {
 		s.shards = 1
@@ -560,7 +586,19 @@ func (s *Simulator) Run() (*Result, error) {
 			s.cpi.CloseEpoch(cyc, s.tolerances(cyc), s.tracer)
 		}
 
-		// 7. Robustness: invariant sweep and forward-progress watchdog.
+		// 7. Robustness: chaos run faults, the cancellation poll, the
+		// invariant sweep, and the forward-progress watchdog.
+		if s.runFault != nil {
+			if err := s.runFault.RunFault(cyc); err != nil {
+				return nil, err
+			}
+		}
+		if s.ctx != nil && cyc >= s.nextCtx {
+			if err := s.ctx.Err(); err != nil {
+				return nil, &CanceledError{Benchmark: s.spec.Name, Cycle: cyc, Cause: err}
+			}
+			s.nextCtx = cyc + ctxPollEvery
+		}
 		if s.checkEvery != 0 && cyc >= s.nextCheck {
 			if err := s.checkInvariants(cyc); err != nil {
 				return nil, err
@@ -705,6 +743,9 @@ func (s *Simulator) nextEventCycle(cyc uint64) uint64 {
 	}
 	if s.watchWindow != 0 && s.nextWatch < next {
 		next = s.nextWatch
+	}
+	if s.ctx != nil && s.nextCtx < next {
+		next = s.nextCtx
 	}
 	if s.injEvts != nil {
 		if t := s.injEvts.NextEvent(cyc); t < next {

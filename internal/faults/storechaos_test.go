@@ -1,0 +1,231 @@
+package faults
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mtprefetch/internal/core"
+	"mtprefetch/internal/simerr"
+	"mtprefetch/internal/store"
+	"mtprefetch/internal/workload"
+)
+
+// storeSpec is a tiny but real run for store round-trips.
+func storeSpec(t *testing.T) core.Options {
+	t.Helper()
+	s := workload.ByName("stream")
+	if s == nil {
+		t.Fatal("workload suite missing stream")
+	}
+	return core.Options{Workload: s.Scaled(8)}
+}
+
+func storeEntry(t *testing.T, key string, o core.Options) (*store.Entry, string) {
+	t.Helper()
+	fp, err := store.Fingerprint(key, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &store.Entry{
+		Key:         key,
+		Fingerprint: fp,
+		Result:      &core.Result{Benchmark: "stream", Cycles: 777, CPI: 1.25},
+		Artifacts:   map[string][]byte{"metrics": []byte("{}\n")},
+	}, fp
+}
+
+// TestChaosStoreTornWriteNeverServed: a torn commit (crash mid-write)
+// must fail typed-transient, must never be served — not by the writing
+// store and not by a fresh Open over the same directory — and the slot
+// must accept a clean re-commit.
+func TestChaosStoreTornWriteNeverServed(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &FaultFS{Inner: store.OSFS(), TornWriteN: 1}
+	s, err := store.Open(dir, store.WithFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, fp := storeEntry(t, "k", storeSpec(t))
+	err = s.Put(e)
+	if err == nil {
+		t.Fatal("Put succeeded through a torn write")
+	}
+	if !simerr.IsTransient(err) {
+		t.Fatalf("torn-write failure %v is not typed transient", err)
+	}
+	if _, ok := s.Get(fp); ok {
+		t.Fatal("torn entry was served by the writing store")
+	}
+	// A fresh process (Open sweeps tmp/) must not resurrect the torn
+	// bytes either.
+	s2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(fp); ok {
+		t.Fatal("torn entry was served after reopen")
+	}
+	if s2.Len() != 0 {
+		t.Fatalf("reopened store indexed %d entries from torn state, want 0", s2.Len())
+	}
+	// The second write is clean: the slot heals.
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(fp)
+	if !ok || got.Result.Cycles != 777 {
+		t.Fatalf("healed commit not served intact: %+v ok=%v", got, ok)
+	}
+}
+
+// TestChaosStoreWriteAndRenameFaults: ENOSPC-style write failures and
+// rename refusals must fail typed-transient without publishing
+// anything, and the store must recover on the next clean commit.
+func TestChaosStoreWriteAndRenameFaults(t *testing.T) {
+	ffs := &FaultFS{Inner: store.OSFS(), FailWriteN: 1, FailRenameN: 1}
+	s, err := store.Open(t.TempDir(), store.WithFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, fp := storeEntry(t, "k", storeSpec(t))
+	if err := s.Put(e); !simerr.IsTransient(err) { // write 1 fails
+		t.Fatalf("ENOSPC commit error %v is not typed transient", err)
+	}
+	if err := s.Put(e); !simerr.IsTransient(err) { // write 2 ok, rename 1 fails
+		t.Fatalf("rename commit error %v is not typed transient", err)
+	}
+	if _, ok := s.Get(fp); ok {
+		t.Fatal("failed commit's entry was served")
+	}
+	if !s.Degraded() {
+		t.Fatal("store not degraded while commits fail")
+	}
+	if err := s.Put(e); err != nil { // clean
+		t.Fatal(err)
+	}
+	if s.Degraded() {
+		t.Fatal("store still degraded after a clean commit")
+	}
+	if _, ok := s.Get(fp); !ok {
+		t.Fatal("clean commit missed")
+	}
+}
+
+// TestChaosStoreReadCorruptionQuarantined: a bit flipped on the read
+// path must be detected by the checksum, quarantined, and served as a
+// miss — never as data.
+func TestChaosStoreReadCorruptionQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &FaultFS{Inner: store.OSFS()}
+	s, err := store.Open(dir, store.WithFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, fp := storeEntry(t, "k", storeSpec(t))
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	ffs.CorruptReadN = ffs.Reads() + 1
+	if got, ok := s.Get(fp); ok {
+		t.Fatalf("corrupted read was served: %+v", got)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantined", st)
+	}
+	// The entry was quarantined (conservatively: the store cannot tell a
+	// bad disk from a bad read); a re-commit restores service.
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(fp); !ok {
+		t.Fatal("re-committed entry missed after read corruption")
+	}
+}
+
+// TestChaosStoreKillNineResume simulates SIGKILL mid-commit: committed
+// entries plus in-flight tmp garbage on disk. A fresh Open must serve
+// exactly the committed entries, byte-identically, and sweep the rest.
+func TestChaosStoreKillNineResume(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := storeSpec(t)
+	e1, fp1 := storeEntry(t, "k1", o)
+	e2, fp2 := storeEntry(t, "k2", o)
+	if err := s.Put(e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(e2); err != nil {
+		t.Fatal(err)
+	}
+	// The kill-9 debris: torn tmp files from in-flight commits.
+	for _, name := range []string{"a.1.1.tmp", "b.2.9.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, "tmp", name), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("resumed store indexed %d entries, want 2", s2.Len())
+	}
+	for _, tc := range []struct {
+		fp   string
+		want *store.Entry
+	}{{fp1, e1}, {fp2, e2}} {
+		got, ok := s2.Get(tc.fp)
+		if !ok {
+			t.Fatalf("resumed store missed %s", tc.want.Key)
+		}
+		gb, _ := json.Marshal(got)
+		wb, _ := json.Marshal(tc.want)
+		if string(gb) != string(wb) {
+			t.Fatalf("resumed entry diverges:\ngot  %s\nwant %s", gb, wb)
+		}
+	}
+	if st := s2.Stats(); st.Quarantined != 0 {
+		t.Fatalf("resume quarantined %d clean entries", st.Quarantined)
+	}
+}
+
+// TestChaosFlakeRunRetriesConverge: a run that transiently aborts must
+// fail typed-transient for exactly Fails executions and then produce a
+// Result byte-identical to a never-faulted run — retrying perturbs
+// nothing.
+func TestChaosFlakeRunRetriesConverge(t *testing.T) {
+	clean, err := core.Run(storeSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flake := &FlakeRun{FailCycle: 1000, Fails: 2}
+	o := storeSpec(t)
+	o.Inject = flake
+	for attempt := 1; attempt <= 2; attempt++ {
+		_, err := core.Run(o)
+		if err == nil {
+			t.Fatalf("attempt %d succeeded while the flake was armed", attempt)
+		}
+		if !simerr.IsTransient(err) {
+			t.Fatalf("attempt %d failed non-transiently: %v", attempt, err)
+		}
+		if !errors.Is(err, simerr.ErrTransient) {
+			t.Fatalf("attempt %d error %v does not unwrap to ErrTransient", attempt, err)
+		}
+	}
+	got, err := core.Run(o)
+	if err != nil {
+		t.Fatalf("post-flake attempt failed: %v", err)
+	}
+	gb, _ := json.Marshal(got)
+	cb, _ := json.Marshal(clean)
+	if string(gb) != string(cb) {
+		t.Fatalf("retried run diverges from the fault-free run:\ngot  %s\nwant %s", gb, cb)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -111,9 +113,13 @@ func writeTrace(path, key string, t *obs.Tracer) error {
 }
 
 // sanitizeKey maps a memoisation key onto a filesystem-safe directory
-// name (keys embed '/' separators).
+// name (keys embed '/' separators). The readable part is lossy — every
+// disallowed rune flattens to '_', so distinct keys like "sw/a_b" and
+// "sw/a/b" collide — hence the suffix: an FNV-32a hash of the raw key
+// keeps the directory unique per key, so two failed runs can never
+// overwrite each other's dump bundles.
 func sanitizeKey(key string) string {
-	return strings.Map(func(r rune) rune {
+	mapped := strings.Map(func(r rune) rune {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
 			r == '-', r == '.', r == '+', r == '=':
@@ -122,4 +128,7 @@ func sanitizeKey(key string) string {
 			return '_'
 		}
 	}, key)
+	h := fnv.New32a()
+	io.WriteString(h, key) //nolint:errcheck // hash writes cannot fail
+	return fmt.Sprintf("%s-%08x", mapped, h.Sum32())
 }

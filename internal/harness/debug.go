@@ -4,8 +4,11 @@
 //	/            JSON summary: per-run progress in submission order
 //	/metrics     Prometheus text exposition: harness progress gauges plus
 //	             the final registry snapshot of recently finished runs
-//	/healthz     liveness JSON: run-state counts, uptime, and a status
-//	             that degrades when any run has failed
+//	/healthz     liveness JSON: run-state counts, uptime, result-store
+//	             health, and a status that degrades when any run has
+//	             failed; HTTP 503 while the store cannot commit
+//	/store       result-store statistics (hits, misses, quarantined,
+//	             commit errors) plus the harness retry count
 //	/tolerance   live per-core latency-tolerance snapshots (ready warps,
 //	             MRQ headroom, oldest-fill age) of running simulations
 //	             with cycle accounting attached
@@ -27,6 +30,7 @@ import (
 	"time"
 
 	"mtprefetch/internal/obs"
+	"mtprefetch/internal/store"
 )
 
 // DefaultSnapshotKeep bounds how many finished runs keep their full
@@ -40,8 +44,9 @@ const DefaultSnapshotKeep = 32
 // endpoints.
 type runState struct {
 	Key     string  `json:"key"`
-	Status  string  `json:"status"` // "running", "done", "failed"
+	Status  string  `json:"status"` // "running", "done", "cached", "failed"
 	Seconds float64 `json:"seconds"`
+	Retries int     `json:"retries,omitempty"`
 	Error   string  `json:"error,omitempty"`
 
 	started time.Time
@@ -56,13 +61,17 @@ type DebugServer struct {
 	ln  net.Listener
 	srv *http.Server
 
-	mu     sync.Mutex
-	order  []string // submission order, for stable listings
-	runs   map[string]*runState
-	snaps  []string // keys of finished runs still holding snapshots
-	keep   int      // snapshot cap (DefaultSnapshotKeep unless overridden)
-	failed int
-	done   int
+	mu      sync.Mutex
+	closed  bool     // Close called: publish hooks become inert
+	order   []string // submission order, for stable listings
+	runs    map[string]*runState
+	snaps   []string // keys of finished runs still holding snapshots
+	keep    int      // snapshot cap (DefaultSnapshotKeep unless overridden)
+	failed  int
+	done    int
+	cached  int // runs served from the result store
+	retried int // transient-failure retries across all runs
+	st      *store.Store
 
 	started time.Time
 }
@@ -80,6 +89,7 @@ func NewDebugServer(addr string) (*DebugServer, error) {
 	mux.HandleFunc("/", d.serveRuns)
 	mux.HandleFunc("/metrics", d.serveMetrics)
 	mux.HandleFunc("/healthz", d.serveHealthz)
+	mux.HandleFunc("/store", d.serveStore)
 	mux.HandleFunc("/tolerance", d.serveTolerance)
 	// net/http/pprof registers on http.DefaultServeMux; with a private mux
 	// the handlers must be wired explicitly.
@@ -101,12 +111,29 @@ func (d *DebugServer) Addr() string {
 	return d.ln.Addr().String()
 }
 
-// Close shuts the server down.
+// Close shuts the server down. The publish hooks (RunStarted,
+// RunFinished, RunLive, RunCached, RunRetried) become inert, so
+// stragglers from a draining sweep cannot mutate a closed server's
+// state mid-report.
 func (d *DebugServer) Close() error {
 	if d == nil {
 		return nil
 	}
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
 	return d.srv.Close()
+}
+
+// SetStore attaches the persistent result store whose statistics
+// /store and /healthz report; nil detaches.
+func (d *DebugServer) SetStore(s *store.Store) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.st = s
+	d.mu.Unlock()
 }
 
 // SetSnapshotKeep overrides how many finished runs keep their registry
@@ -140,6 +167,9 @@ func (d *DebugServer) RunLive(key string, cpi *obs.CPIStack) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
 	st := d.runs[key]
 	if st == nil {
 		st = &runState{Key: key, Status: "running", started: time.Now()}
@@ -156,11 +186,63 @@ func (d *DebugServer) RunStarted(key string) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
 	if _, ok := d.runs[key]; ok {
 		return
 	}
 	d.order = append(d.order, key)
 	d.runs[key] = &runState{Key: key, Status: "running", started: time.Now()}
+}
+
+// RunCached publishes that key was served from the result store
+// without simulating.
+func (d *DebugServer) RunCached(key string) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	st := d.runs[key]
+	if st == nil {
+		st = &runState{Key: key, started: time.Now()}
+		d.order = append(d.order, key)
+		d.runs[key] = st
+	}
+	st.Status = "cached"
+	st.Seconds = time.Since(st.started).Seconds()
+	d.done++
+	d.cached++
+}
+
+// RunRetried publishes that key's attempt (1-based) failed with a
+// transient error and is being retried; the run stays "running".
+func (d *DebugServer) RunRetried(key string, attempt int, err error) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	st := d.runs[key]
+	if st == nil {
+		st = &runState{Key: key, Status: "running", started: time.Now()}
+		d.order = append(d.order, key)
+		d.runs[key] = st
+	}
+	if attempt > st.Retries {
+		st.Retries = attempt
+	}
+	if err != nil {
+		st.Error = err.Error() // last transient error, cleared on success
+	}
+	d.retried++
 }
 
 // RunFinished publishes a run's completion, its error (nil on success),
@@ -172,6 +254,9 @@ func (d *DebugServer) RunFinished(key string, snap []obs.SnapshotEntry, err erro
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
 	st := d.runs[key]
 	if st == nil {
 		st = &runState{Key: key, started: time.Now()}
@@ -185,6 +270,7 @@ func (d *DebugServer) RunFinished(key string, snap []obs.SnapshotEntry, err erro
 		d.failed++
 	} else {
 		st.Status = "done"
+		st.Error = "" // clear a retried attempt's transient error
 		d.done++
 	}
 	if snap != nil && d.keep > 0 {
@@ -251,8 +337,22 @@ func (d *DebugServer) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// storeHealth is the result-store section of /healthz.
+type storeHealth struct {
+	Entries         int    `json:"entries"`
+	Quarantined     int64  `json:"quarantined"`
+	CommitErrors    int64  `json:"commit_errors"`
+	LastCommitError string `json:"last_commit_error,omitempty"`
+	Degraded        bool   `json:"degraded"`
+}
+
 // serveHealthz renders the liveness summary: overall status ("ok", or
-// "degraded" once any run has failed), run-state counts, and uptime.
+// "degraded" once any run has failed or the result store cannot
+// commit), run-state counts, store health, and uptime. A store stuck
+// degraded — its most recent commit attempt failed — additionally
+// answers HTTP 503, so external probes catch a sweep silently losing
+// its persistence (failed runs alone stay 200: the process is healthy
+// and the damage is already reported per run).
 func (d *DebugServer) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 	d.mu.Lock()
 	running := 0
@@ -262,11 +362,12 @@ func (d *DebugServer) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	out := struct {
-		Status        string  `json:"status"`
-		Running       int     `json:"running"`
-		Done          int     `json:"done"`
-		Failed        int     `json:"failed"`
-		UptimeSeconds float64 `json:"uptime_seconds"`
+		Status        string       `json:"status"`
+		Running       int          `json:"running"`
+		Done          int          `json:"done"`
+		Failed        int          `json:"failed"`
+		UptimeSeconds float64      `json:"uptime_seconds"`
+		Store         *storeHealth `json:"store,omitempty"`
 	}{
 		Status:        "ok",
 		Running:       running,
@@ -276,6 +377,43 @@ func (d *DebugServer) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if d.failed > 0 {
 		out.Status = "degraded"
+	}
+	code := http.StatusOK
+	if d.st != nil {
+		s := d.st.Stats()
+		out.Store = &storeHealth{
+			Entries:         s.Entries,
+			Quarantined:     s.Quarantined,
+			CommitErrors:    s.CommitErrors,
+			LastCommitError: s.LastCommitError,
+			Degraded:        s.Degraded,
+		}
+		if s.Degraded {
+			out.Status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+	}
+	d.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out) //nolint:errcheck // client went away
+}
+
+// serveStore renders the result store's statistics plus the harness's
+// cached/retried run counts; attached=false (and zero stats) when no
+// store is configured.
+func (d *DebugServer) serveStore(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	out := struct {
+		Attached bool        `json:"attached"`
+		Cached   int         `json:"cached_runs"`
+		Retried  int         `json:"retried_attempts"`
+		Stats    store.Stats `json:"stats"`
+	}{Attached: d.st != nil, Cached: d.cached, Retried: d.retried}
+	if d.st != nil {
+		out.Stats = d.st.Stats()
 	}
 	d.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")

@@ -9,7 +9,9 @@ import (
 	"strings"
 	"testing"
 
+	"mtprefetch/internal/core"
 	"mtprefetch/internal/obs"
+	"mtprefetch/internal/store"
 )
 
 func get(t *testing.T, url string) string {
@@ -237,4 +239,166 @@ func TestDebugServerNilSafe(t *testing.T) {
 	if err := d.Close(); err != nil {
 		t.Errorf("nil Close = %v", err)
 	}
+}
+
+// TestDebugServerClosedHooksInert: after Close every publish hook is a
+// no-op — stragglers from a draining sweep must not mutate a closed
+// server's counters or run list.
+func TestDebugServerClosedHooksInert(t *testing.T) {
+	d, err := NewDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.RunStarted("early")
+	d.RunFinished("early", nil, nil)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d.RunStarted("late")
+	d.RunLive("late", obs.NewCPIStack(100))
+	d.RunRetried("late", 1, errors.New("flake"))
+	d.RunCached("late")
+	d.RunFinished("late", []obs.SnapshotEntry{{Name: "x", Component: "c"}}, nil)
+	d.RunFinished("early", nil, errors.New("double-report"))
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.runs) != 1 || d.runs["late"] != nil {
+		t.Fatalf("closed server accepted runs: %d tracked", len(d.runs))
+	}
+	if d.done != 1 || d.failed != 0 || d.retried != 0 || d.cached != 0 {
+		t.Fatalf("closed server mutated counters: done=%d failed=%d retried=%d cached=%d",
+			d.done, d.failed, d.retried, d.cached)
+	}
+	if st := d.runs["early"]; st.Status != "done" || st.Error != "" {
+		t.Fatalf("closed server rewrote a finished run: %+v", st)
+	}
+}
+
+// TestDebugServerStoreEndpoint: /store reports attachment, the
+// cached/retried counters, and the store's own statistics.
+func TestDebugServerStoreEndpoint(t *testing.T) {
+	d, err := NewDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	base := "http://" + d.Addr()
+
+	var out struct {
+		Attached bool `json:"attached"`
+		Cached   int  `json:"cached_runs"`
+		Retried  int  `json:"retried_attempts"`
+		Stats    struct {
+			Entries int   `json:"entries"`
+			Commits int64 `json:"commits"`
+		} `json:"stats"`
+	}
+	read := func() {
+		t.Helper()
+		if err := json.Unmarshal([]byte(get(t, base+"/store")), &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read()
+	if out.Attached {
+		t.Fatalf("/store reports attached with no store: %+v", out)
+	}
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetStore(st)
+	if err := st.Put(&storeTestEntry); err != nil {
+		t.Fatal(err)
+	}
+	d.RunCached("a")
+	d.RunRetried("b", 1, errors.New("flake"))
+	d.RunRetried("b", 2, errors.New("flake"))
+	read()
+	if !out.Attached || out.Cached != 1 || out.Retried != 2 {
+		t.Fatalf("/store = %+v, want attached with 1 cached / 2 retried", out)
+	}
+	if out.Stats.Entries != 1 || out.Stats.Commits != 1 {
+		t.Fatalf("/store stats = %+v, want 1 entry / 1 commit", out.Stats)
+	}
+}
+
+// TestDebugServerHealthzStoreDegraded: /healthz carries the store
+// section and answers 503 while the store's most recent commit attempt
+// failed, recovering to 200 once a commit succeeds.
+func TestDebugServerHealthzStoreDegraded(t *testing.T) {
+	d, err := NewDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	url := "http://" + d.Addr() + "/healthz"
+
+	ffs := &failingStoreFS{FS: store.OSFS()}
+	st, err := store.Open(t.TempDir(), store.WithFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetStore(st)
+
+	fetch := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := fetch(); code != http.StatusOK || !strings.Contains(body, `"degraded": false`) {
+		t.Fatalf("healthy store healthz = %d:\n%s", code, body)
+	}
+
+	ffs.fail = true
+	if err := st.Put(&storeTestEntry); err == nil {
+		t.Fatal("Put succeeded under an injected fault")
+	}
+	code, body := fetch()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded-store healthz = %d, want 503", code)
+	}
+	if !strings.Contains(body, `"status": "degraded"`) || !strings.Contains(body, "injected") {
+		t.Fatalf("degraded-store healthz body:\n%s", body)
+	}
+
+	ffs.fail = false
+	if err := st.Put(&storeTestEntry); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := fetch(); code != http.StatusOK {
+		t.Fatalf("healed-store healthz = %d, want 200", code)
+	}
+}
+
+// failingStoreFS fails every write while fail is set.
+type failingStoreFS struct {
+	store.FS
+	fail bool
+}
+
+func (f *failingStoreFS) WriteFile(path string, data []byte) error {
+	if f.fail {
+		return fmt.Errorf("injected: no space left on device")
+	}
+	return f.FS.WriteFile(path, data)
+}
+
+// storeTestEntry is a minimal valid entry (the fingerprint is a
+// literal: debug tests exercise plumbing, not fingerprinting).
+var storeTestEntry = store.Entry{
+	Key:         "k",
+	Fingerprint: strings.Repeat("ab", 32),
+	Result:      &core.Result{Benchmark: "stream", Cycles: 1},
 }

@@ -5,18 +5,22 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"mtprefetch/internal/config"
 	"mtprefetch/internal/core"
 	"mtprefetch/internal/obs"
 	"mtprefetch/internal/prefetch"
+	"mtprefetch/internal/simerr"
 	"mtprefetch/internal/stats"
+	"mtprefetch/internal/store"
 	"mtprefetch/internal/swpref"
 	"mtprefetch/internal/workload"
 )
@@ -66,6 +70,35 @@ type Config struct {
 	// registry snapshots for live introspection over HTTP (cmd/mtpref's
 	// -http flag); see NewDebugServer. It never affects results.
 	Debug *DebugServer
+	// Store, when non-nil, is the persistent content-addressed result
+	// store (cmd/mtpref's -store flag): runs whose fingerprint is
+	// already committed are served from disk (their sink artifacts
+	// replayed byte-identically), and completed runs are committed for
+	// later invocations. Chaos-injected and tracing runs bypass it; see
+	// runner.storeEnabled.
+	Store *store.Store
+	// RunTimeout, when positive, bounds each simulation attempt in wall
+	// clock (core.Options.Ctx), complementing the cycle-domain livelock
+	// watchdog: a run that exceeds it fails with context.
+	// DeadlineExceeded wrapped in *core.CanceledError. Zero disables
+	// the deadline.
+	RunTimeout time.Duration
+	// Retries bounds how many times a run whose failure is typed
+	// transient (simerr.IsTransient — store I/O faults, injected chaos
+	// faults) is re-executed with a fresh observer before the failure
+	// is final (default 0: fail fast). Each retry backs off on a
+	// deterministic per-(key, attempt) seeded schedule; see retryDelay.
+	Retries int
+	// RetryBackoff is the base delay between transient-failure retries
+	// (default 100ms); attempt n waits roughly base<<n, jittered.
+	RetryBackoff time.Duration
+	// Lifecycle, when non-nil, coordinates graceful drain: once its
+	// Drain fires (typically from SIGTERM via HandleSignals), queued
+	// runs abort with ErrDrained, in-flight runs cancel at their next
+	// poll barrier, and the aborted keys are recorded for the exit
+	// summary. Completed results already committed to Store survive, so
+	// re-running the sweep resumes from exactly the missing cells.
+	Lifecycle *Lifecycle
 }
 
 func (c Config) waves() int {
@@ -241,35 +274,94 @@ func (r *runner) submit(key string, o core.Options) *future {
 }
 
 // execute runs one simulation on a worker-pool slot and completes t.
+// Under a drain, queued executions abort instead of starting (waiting
+// for a slot counts as queued), and in-flight cancellations are
+// recorded as aborted rather than failed.
 func (r *runner) execute(key string, t *task, o core.Options) {
 	defer close(t.done)
-	r.sem <- struct{}{}
+	select {
+	case r.sem <- struct{}{}:
+	case <-r.c.Lifecycle.drainingC():
+		t.err = r.abortDrained(key, o)
+		return
+	}
 	defer func() { <-r.sem }()
+	if r.c.Lifecycle.Draining() { // won the slot race, but too late
+		t.err = r.abortDrained(key, o)
+		return
+	}
 	r.c.Debug.RunStarted(key)
 	t.res, t.err = r.runOne(key, o)
+	if t.err != nil && errors.Is(t.err, core.ErrCanceled) && r.c.Lifecycle.Draining() {
+		r.c.Lifecycle.noteAborted(key)
+	}
 }
 
-// runOne executes one simulation with panic isolation: a panic anywhere
-// in the simulator becomes a *RunError carrying the run key, an options
-// fingerprint, and the stack, so one poisoned run costs its own table
-// cells and nothing else. Run/New errors are wrapped the same way, and
-// either path writes a crash dump when Config.CrashDir is set.
+// abortDrained fails a run that never started because of a drain.
+func (r *runner) abortDrained(key string, o core.Options) error {
+	r.c.Lifecycle.noteAborted(key)
+	err := &RunError{Key: key, Fingerprint: fingerprint(o), Err: ErrDrained}
+	r.c.Debug.RunFinished(key, nil, err)
+	return err
+}
+
+// runOne resolves one simulation: a store hit replays the committed
+// result and artifacts without simulating; otherwise the run executes
+// (attempt), transient failures retry on a bounded seeded-backoff
+// schedule with a fresh observer each time — so the surviving output
+// is byte-identical to a first-try success — and the final outcome is
+// published once and, on success, committed to the store.
 //
-// The result is stored before the observability sink records it: a
-// Finish error must not discard the simulation, or a retry under the
-// same key would re-run it and duplicate the sink's trace/sample output
-// (the sink is additionally idempotent per key).
-func (r *runner) runOne(key string, o core.Options) (res *core.Result, err error) {
+// The result is recorded in the memo cache before the observability
+// sink flushes it: a Finish error must not discard the simulation, or
+// a retry under the same key would re-run it and duplicate the sink's
+// trace/sample output (the sink is additionally idempotent per key).
+func (r *runner) runOne(key string, o core.Options) (*core.Result, error) {
+	fp := r.storeFingerprint(key, o)
+	if res, ok, err := r.storeGet(key, fp); ok {
+		return res, err
+	}
+	res, ob, snap, err := r.attempt(key, o)
+	for try := 1; err != nil && simerr.IsTransient(err) &&
+		try <= r.c.retries() && !r.c.Lifecycle.Draining(); try++ {
+		r.c.Debug.RunRetried(key, try, err)
+		time.Sleep(retryDelay(key, try-1, r.c.RetryBackoff))
+		res, ob, snap, err = r.attempt(key, o)
+	}
+	r.c.Debug.RunFinished(key, snap, err)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.c.Obs.Finish(key, ob); err != nil {
+		return res, fmt.Errorf("%s: %w", key, err)
+	}
+	r.storePut(key, fp, ob, res)
+	return res, nil
+}
+
+// attempt executes one simulation attempt with panic isolation: a
+// panic anywhere in the simulator becomes a *RunError carrying the run
+// key, an options fingerprint, and the stack, so one poisoned run
+// costs its own table cells and nothing else. Run/New errors are
+// wrapped the same way, and either path writes a crash dump when
+// Config.CrashDir is set. Each attempt gets a fresh observer (retried
+// runs must not double-record epochs) and its own deadline-bounded
+// context; snap is nil after a panic (the simulator may be
+// mid-mutation).
+func (r *runner) attempt(key string, o core.Options) (res *core.Result, ob *obs.Observer, snap []obs.SnapshotEntry, err error) {
 	var sim *core.Simulator
 	defer func() {
 		if p := recover(); p != nil {
 			re := &RunError{Key: key, Fingerprint: fingerprint(o), Panic: p, Stack: debug.Stack()}
 			re.DumpPath = r.dump(re, o, sim)
-			res, err = nil, re
-			// No registry snapshot: the simulator may be mid-mutation.
-			r.c.Debug.RunFinished(key, nil, re)
+			res, snap, err = nil, nil, re
 		}
 	}()
+	ctx, cancel := r.runCtx()
+	if cancel != nil {
+		defer cancel()
+	}
+	o.Ctx = ctx
 	o.Obs = r.c.Obs.Observer()
 	o.NoCycleSkip = r.c.NoCycleSkip
 	o.Shards = r.c.shards()
@@ -291,14 +383,9 @@ func (r *runner) runOne(key string, o core.Options) (res *core.Result, err error
 	if err != nil {
 		re := &RunError{Key: key, Fingerprint: fingerprint(o), Err: err}
 		re.DumpPath = r.dump(re, o, sim)
-		r.c.Debug.RunFinished(key, snapshotOf(sim), re)
-		return nil, re
+		return nil, o.Obs, snapshotOf(sim), re
 	}
-	r.c.Debug.RunFinished(key, snapshotOf(sim), nil)
-	if err := r.c.Obs.Finish(key, o.Obs); err != nil {
-		return res, fmt.Errorf("%s: %w", key, err)
-	}
-	return res, nil
+	return res, o.Obs, snapshotOf(sim), nil
 }
 
 // snapshotOf freezes a simulator's registry for the debug server; nil

@@ -1,0 +1,270 @@
+// Resilient run lifecycle: per-run wall-clock deadlines, bounded
+// retries with deterministic seeded backoff for transient failures,
+// persistent result-store integration (lookups, artifact replay, and
+// retried commits), and graceful drain on SIGTERM — in-flight runs
+// cancel at their next poll barrier, completed results stay committed,
+// and the aborted keys are reported so a re-run resumes exactly the
+// missing cells from the store.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"mtprefetch/internal/core"
+	"mtprefetch/internal/obs"
+	"mtprefetch/internal/simerr"
+	"mtprefetch/internal/store"
+)
+
+// ErrDrained marks runs the harness refused to start (or gave up
+// waiting on) because a drain had begun; errors.Is sees it through the
+// *RunError wrapper. Runs canceled mid-flight carry core.ErrCanceled
+// instead — both kinds are listed by Lifecycle.Aborted.
+var ErrDrained = errors.New("harness: run aborted by drain")
+
+// Lifecycle coordinates graceful shutdown across every experiment of
+// one harness invocation. Drain (typically wired to SIGTERM/SIGINT via
+// HandleSignals) stops new simulations from starting and cancels
+// in-flight ones at their next cancellation-poll barrier; results that
+// completed before the drain stay committed to the result store, so a
+// later invocation resumes from exactly the aborted cells. A nil
+// *Lifecycle never drains and costs nothing.
+type Lifecycle struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	aborted map[string]bool
+}
+
+// NewLifecycle builds an armed lifecycle.
+func NewLifecycle() *Lifecycle {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Lifecycle{ctx: ctx, cancel: cancel, aborted: make(map[string]bool)}
+}
+
+// Context is the base context every run's Options.Ctx derives from; it
+// is canceled by Drain. A nil lifecycle yields context.Background().
+func (l *Lifecycle) Context() context.Context {
+	if l == nil {
+		return context.Background()
+	}
+	return l.ctx
+}
+
+// Drain begins a graceful shutdown; it is idempotent and safe from any
+// goroutine (including signal handlers).
+func (l *Lifecycle) Drain() {
+	if l != nil {
+		l.cancel()
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (l *Lifecycle) Draining() bool {
+	if l == nil {
+		return false
+	}
+	select {
+	case <-l.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// drainingC is the channel form of Draining for select sites; nil (a
+// never-ready channel) when the lifecycle is nil.
+func (l *Lifecycle) drainingC() <-chan struct{} {
+	if l == nil {
+		return nil
+	}
+	return l.ctx.Done()
+}
+
+// noteAborted records a run key the drain cost.
+func (l *Lifecycle) noteAborted(key string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.aborted[key] = true
+	l.mu.Unlock()
+}
+
+// Aborted lists, sorted, every run key the drain aborted — refused
+// before start or canceled in flight. The exit summary prints it so
+// the operator knows exactly which cells a resumed sweep will fill.
+func (l *Lifecycle) Aborted() []string {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keys := make([]string, 0, len(l.aborted))
+	for k := range l.aborted {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// HandleSignals wires OS signals to Drain: the first SIGTERM/SIGINT
+// (or the given signals) begins a graceful drain, a second one exits
+// immediately. The returned stop function uninstalls the handler.
+func (l *Lifecycle) HandleSignals(sigs ...os.Signal) (stop func()) {
+	if l == nil {
+		return func() {}
+	}
+	if len(sigs) == 0 {
+		sigs = []os.Signal{syscall.SIGTERM, os.Interrupt}
+	}
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, sigs...)
+	go func() {
+		sig, ok := <-ch
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "harness: %v: draining (in-flight runs cancel at the next barrier; signal again to exit now)\n", sig)
+		l.Drain()
+		if _, ok := <-ch; ok {
+			os.Exit(130)
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(ch)
+	}
+}
+
+// defaultRetryBackoff is the base delay between transient-failure
+// retries when Config.RetryBackoff is zero.
+const defaultRetryBackoff = 100 * time.Millisecond
+
+// maxBackoffShift caps the exponential growth (base << 6 = 64x).
+const maxBackoffShift = 6
+
+// retryDelay computes the deterministic, seeded backoff before retry
+// attempt (0-based) of key: exponential in the attempt with a jitter
+// factor in [0.5, 1.0) seeded by FNV-64a over (key, attempt). The
+// schedule decorrelates concurrent retries of different runs while any
+// two executions of the same sweep back off identically — wall clock
+// varies, results never do.
+func retryDelay(key string, attempt int, base time.Duration) time.Duration {
+	if base <= 0 {
+		base = defaultRetryBackoff
+	}
+	shift := attempt
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	h := fnv.New64a()
+	io.WriteString(h, key)                       //nolint:errcheck // hash writes cannot fail
+	fmt.Fprintf(h, "#%d", attempt)               //nolint:errcheck
+	jitter := 0.5 + float64(h.Sum64()&1023)/2048 // [0.5, 1.0)
+	return time.Duration(float64(base<<shift) * jitter)
+}
+
+// retries resolves the retry budget (negative treated as zero).
+func (c Config) retries() int {
+	if c.Retries < 0 {
+		return 0
+	}
+	return c.Retries
+}
+
+// runCtx derives one attempt's context: the lifecycle's drain context,
+// deadline-bounded when RunTimeout is set. Both absent returns nil so
+// the simulator skips cancellation polling entirely.
+func (r *runner) runCtx() (context.Context, context.CancelFunc) {
+	if r.c.RunTimeout > 0 {
+		return context.WithTimeout(r.c.Lifecycle.Context(), r.c.RunTimeout)
+	}
+	if r.c.Lifecycle == nil {
+		return nil, nil
+	}
+	return r.c.Lifecycle.Context(), nil
+}
+
+// storeEnabled reports whether a run may be served from / committed to
+// the persistent store: a store is configured, the run carries no
+// chaos injector (an injected run's Result may deliberately differ
+// from the fault-free one, and injectors are stateful), and the sink
+// has no live-only stream (tracing serialises the event ring directly,
+// which stored artifacts cannot reproduce).
+func (r *runner) storeEnabled(o core.Options) bool {
+	return r.c.Store != nil && o.Inject == nil && !r.c.Obs.NeedsLive()
+}
+
+// storeFingerprint computes the run's content address, or "" when the
+// store does not apply. A fingerprint failure only costs persistence:
+// the run simulates normally.
+func (r *runner) storeFingerprint(key string, o core.Options) string {
+	if !r.storeEnabled(o) {
+		return ""
+	}
+	fp, err := store.Fingerprint(key, o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "harness: %v (run will not use the store)\n", err)
+		return ""
+	}
+	return fp
+}
+
+// storeGet serves a run from the store when possible, replaying its
+// artifact bundle into the sink so shared output files stay
+// byte-identical with a live execution. ok reports a hit; err is a
+// sink write failure on an otherwise-good hit (mirroring Finish
+// errors, it surfaces without discarding the result).
+func (r *runner) storeGet(key, fp string) (res *core.Result, ok bool, err error) {
+	if fp == "" {
+		return nil, false, nil
+	}
+	e, hit := r.c.Store.Get(fp, r.c.Obs.Streams()...)
+	if !hit {
+		return nil, false, nil
+	}
+	if err := r.c.Obs.FinishStored(key, e.Artifacts); err != nil {
+		return e.Result, true, fmt.Errorf("%s: %w", key, err)
+	}
+	r.c.Debug.RunCached(key)
+	return e.Result, true, nil
+}
+
+// storePut commits a completed run, retrying transient commit faults
+// on the same seeded backoff schedule as run retries. A commit that
+// stays failed degrades the store (visible on /healthz and /store) but
+// never the run: the result is already in hand.
+func (r *runner) storePut(key, fp string, ob *obs.Observer, res *core.Result) {
+	if fp == "" {
+		return
+	}
+	artifacts, err := r.c.Obs.Capture(key, ob)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "harness: %v (run not committed to store)\n", err)
+		return
+	}
+	e := &store.Entry{Key: key, Fingerprint: fp, Result: res, Artifacts: artifacts}
+	for try := 0; ; try++ {
+		err = r.c.Store.Put(e)
+		if err == nil || !simerr.IsTransient(err) || try >= r.c.retries() || r.c.Lifecycle.Draining() {
+			break
+		}
+		r.c.Debug.RunRetried(key, try+1, err)
+		time.Sleep(retryDelay(key, try, r.c.RetryBackoff))
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "harness: store commit for %s failed: %v\n", key, err)
+	}
+}

@@ -73,6 +73,98 @@ func (s *Sink) Observer() *Observer {
 	return New(s.cfg)
 }
 
+// Streams names the JSONL streams this sink records — the artifact
+// blobs a stored run must carry before it can substitute for a live
+// one. Tracing is excluded: it has no per-run replayable form (see
+// NeedsLive). A nil sink records nothing.
+func (s *Sink) Streams() []string {
+	if s == nil {
+		return nil
+	}
+	var out []string
+	if s.metrics != nil {
+		out = append(out, "metrics")
+	}
+	if s.pfreport != nil {
+		out = append(out, "pfreport")
+	}
+	if s.cpistack != nil {
+		out = append(out, "cpistack")
+	}
+	return out
+}
+
+// NeedsLive reports whether this sink requires live simulations: the
+// Chrome-trace stream serialises each run's event ring directly into a
+// shared JSON array, which cannot be reproduced from stored artifacts,
+// so a tracing sweep must bypass result-store reads to keep its trace
+// complete.
+func (s *Sink) NeedsLive() bool { return s != nil && s.trace != nil }
+
+// Capture renders one finished run's enabled JSONL streams into named
+// artifact blobs — byte-for-byte what Finish appends to the shared
+// files — for committing alongside the Result in a persistent store.
+// A nil sink or observer captures nothing.
+func (s *Sink) Capture(runKey string, o *Observer) (map[string][]byte, error) {
+	if s == nil || o == nil {
+		return nil, nil
+	}
+	out := make(map[string][]byte)
+	if s.metrics != nil && o.Sampler != nil {
+		var buf bytes.Buffer
+		if err := o.Sampler.WriteJSONL(&buf, map[string]string{"run": runKey}); err != nil {
+			return nil, fmt.Errorf("obs: capture metrics for %s: %w", runKey, err)
+		}
+		out["metrics"] = buf.Bytes()
+	}
+	if s.pfreport != nil && o.PF != nil {
+		var buf bytes.Buffer
+		if err := o.PF.WriteJSONL(&buf, runKey); err != nil {
+			return nil, fmt.Errorf("obs: capture pfreport for %s: %w", runKey, err)
+		}
+		out["pfreport"] = buf.Bytes()
+	}
+	if s.cpistack != nil && o.CPI != nil {
+		var buf bytes.Buffer
+		if err := o.CPI.WriteJSONL(&buf, runKey); err != nil {
+			return nil, fmt.Errorf("obs: capture cpistack for %s: %w", runKey, err)
+		}
+		out["cpistack"] = buf.Bytes()
+	}
+	return out, nil
+}
+
+// FinishStored records a run from previously captured artifacts — the
+// store-hit path — under the same per-key idempotency and post-Close
+// inertness as Finish. Only streams this sink has enabled are written;
+// the caller guarantees those are present (store.Get's need parameter).
+func (s *Sink) FinishStored(runKey string, artifacts map[string][]byte) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.done[runKey] {
+		return nil
+	}
+	s.done[runKey] = true
+	for _, st := range []struct {
+		name string
+		w    io.Writer
+	}{{"metrics", s.metrics}, {"pfreport", s.pfreport}, {"cpistack", s.cpistack}} {
+		if st.w == nil {
+			continue
+		}
+		if b, ok := artifacts[st.name]; ok && len(b) > 0 {
+			if _, err := st.w.Write(b); err != nil {
+				return fmt.Errorf("obs: stored %s for %s: %w", st.name, runKey, err)
+			}
+		}
+	}
+	s.runs++
+	return nil
+}
+
 // Finish flushes one completed run's observer into the shared files,
 // tagging its metrics lines and trace process with the run key. A key
 // that was already recorded (or a Finish after Close) is a no-op, so

@@ -1,0 +1,76 @@
+package store
+
+import "os"
+
+// FS is the narrow filesystem seam the store runs on. Production code
+// uses the osFS implementation below; chaos tests substitute
+// faults.FaultFS to inject torn writes, ENOSPC, read corruption, and
+// rename failures without touching a real disk's failure modes.
+//
+// The store's crash-safety argument leans on two properties every
+// implementation must preserve:
+//
+//   - WriteFile makes the data durable before returning (a crash after
+//     a successful WriteFile cannot tear the file), and
+//   - Rename is atomic: readers see either the old name's absence or
+//     the complete new file, never an intermediate state.
+type FS interface {
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string) error
+	// ReadDir lists the names (not paths) of a directory's entries.
+	ReadDir(path string) ([]string, error)
+	// ReadFile returns a file's full contents.
+	ReadFile(path string) ([]byte, error)
+	// WriteFile creates (or truncates) path with data and syncs it.
+	WriteFile(path string, data []byte) error
+	// Rename atomically moves oldPath to newPath.
+	Rename(oldPath, newPath string) error
+	// Remove deletes a file.
+	Remove(path string) error
+}
+
+// osFS is the real-filesystem implementation of FS.
+type osFS struct{}
+
+// OSFS returns the operating-system-backed FS the store uses by
+// default; exported so fault-injecting wrappers can delegate to it.
+func OSFS() FS { return osFS{} }
+
+func (osFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+func (osFS) ReadDir(path string) ([]string, error) {
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// WriteFile writes data and fsyncs before closing: the commit protocol
+// renames this file into place, and rename-before-durable would let a
+// crash publish a torn entry under the final name.
+func (osFS) WriteFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (osFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }

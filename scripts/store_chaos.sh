@@ -1,0 +1,57 @@
+#!/bin/sh
+# Kill-and-resume chaos gate for the persistent result store.
+#
+# Proves the ISSUE's differential guarantees end to end with the real
+# binary:
+#
+#   1. cold      — no store: the reference output.
+#   2. killed    — a sweep with -store is SIGKILLed mid-flight (the
+#                  crash-safety worst case: no drain, no cleanup).
+#   3. resumed   — the same sweep re-run over the surviving store
+#                  directory must complete and print tables
+#                  byte-identical to the cold run (after normalising
+#                  wall-clock lines): every committed entry is served
+#                  as-is, every lost or in-flight run re-simulates, and
+#                  no torn entry is ever served (it would change cells).
+#   4. warm      — a third run over the now-complete store must again
+#                  be byte-identical while serving everything from disk.
+#
+# Usage: scripts/store_chaos.sh [STOREDIR]   (default: a fresh tmp dir)
+set -eu
+cd "$(dirname "$0")/.."
+
+STOREDIR=${1:-$(mktemp -d /tmp/mtpref-store.XXXXXX)}
+OUTDIR=$(mktemp -d /tmp/mtpref-chaos.XXXXXX)
+EXPERIMENTS="table3 gstable"
+NORM='s/completed in .*/completed/'
+
+go build -o "$OUTDIR/mtpref" ./cmd/mtpref
+
+echo "== cold run (no store) =="
+"$OUTDIR/mtpref" -waves 1 run $EXPERIMENTS | sed "$NORM" > "$OUTDIR/cold.txt"
+
+echo "== killed run (SIGKILL mid-sweep, store at $STOREDIR) =="
+# -j 1 stretches the sweep so the kill lands mid-flight; worker count
+# never affects store contents or output bytes (see the j1-vs-j8 gate).
+"$OUTDIR/mtpref" -waves 1 -j 1 -store "$STOREDIR" run $EXPERIMENTS > "$OUTDIR/killed.txt" 2>&1 &
+PID=$!
+# Give the sweep time to commit some (but ideally not all) entries,
+# then kill it the hard way. Timing only affects how much work the
+# resume saves, never its bytes.
+sleep 0.4
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+COMMITTED=$(ls "$STOREDIR/entries" 2>/dev/null | wc -l)
+echo "killed with $COMMITTED entries committed"
+
+echo "== resumed run (same store) =="
+"$OUTDIR/mtpref" -waves 1 -store "$STOREDIR" run $EXPERIMENTS | sed "$NORM" > "$OUTDIR/resumed.txt"
+diff "$OUTDIR/cold.txt" "$OUTDIR/resumed.txt"
+echo "resumed output byte-identical to cold"
+
+echo "== warm run (fully-populated store) =="
+"$OUTDIR/mtpref" -waves 1 -store "$STOREDIR" run $EXPERIMENTS | sed "$NORM" > "$OUTDIR/warm.txt"
+diff "$OUTDIR/cold.txt" "$OUTDIR/warm.txt"
+echo "warm output byte-identical to cold"
+
+echo "store_chaos: OK (store: $STOREDIR)"
