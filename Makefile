@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race chaos bench bench-parallel bench-core bench-shards pfreport cpistack
+.PHONY: check build test vet race chaos bench bench-parallel bench-core bench-shards bench-alloc pfreport cpistack
 
 # The full gate used before committing: vet, build, race-enabled tests
 # (including the scaled-down parallel-harness sweep; see harness_test.go),
@@ -80,3 +80,16 @@ bench-shards:
 	$(GO) run ./cmd/benchjson < bench_shards.tmp > BENCH_shards.json
 	@rm bench_shards.tmp
 	@echo wrote BENCH_shards.json
+
+# GC-pressure gate, archived as BENCH_alloc.json: allocs/op, bytes/op
+# and cycles/s per workload with observability attached and detached.
+# benchjson compares each result against the committed per-benchmark
+# budgets in ci/alloc_budget.json and fails (after writing the JSON, so
+# the artifact survives) when a budget is exceeded — allocation-rate
+# regressions in the steady-state loop break the build instead of
+# silently eroding sweep throughput.
+bench-alloc:
+	$(GO) test -bench='CoreAlloc' -benchmem -run=^$$ -benchtime=$(BENCHTIME) . > bench_alloc.tmp
+	$(GO) run ./cmd/benchjson -budget ci/alloc_budget.json < bench_alloc.tmp > BENCH_alloc.json
+	@rm bench_alloc.tmp
+	@echo wrote BENCH_alloc.json

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	go test -bench=. -run=^$ . | go run ./cmd/benchjson > BENCH.json
+//	go test -bench=CoreAlloc -benchmem -run=^$ . | go run ./cmd/benchjson -budget ci/alloc_budget.json > BENCH_alloc.json
 //
 // Each "Benchmark..." result line becomes one object carrying the
 // benchmark name, iteration count, ns/op, the -benchmem B/op and
@@ -15,13 +16,27 @@
 // "cpi_stack" object keyed by bucket name. The goos/goarch/pkg/cpu
 // header lines are captured once at the top level. Lines that are not
 // benchmark results (PASS, ok, warnings) are ignored.
+//
+// The document records the host parallelism (`gomaxprocs`, `num_cpu`)
+// alongside the results, and any result whose `shards` metric exceeds
+// the available CPUs gets a `note` saying so — a 4-shard "speedup" on a
+// 1-CPU container measures barrier overhead, not parallel scaling, and
+// the annotation keeps trajectory tooling from misreading it.
+//
+// With -budget FILE, the file is parsed as JSON mapping benchmark name
+// to the maximum allowed allocs/op; after writing the document, any
+// result over its budget (or any budgeted benchmark missing from the
+// results — a rename must not silently disable the gate) fails the run
+// with exit status 1.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -39,15 +54,66 @@ type result struct {
 	// per-bucket stall percentages form one nested object instead of
 	// being scattered through Metrics.
 	CPIStack map[string]float64 `json:"cpi_stack,omitempty"`
+	// Note flags results that need interpretation context (e.g. shard
+	// speedups measured with fewer CPUs than shards).
+	Note string `json:"note,omitempty"`
 }
 
 // output is the whole document.
 type output struct {
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
-	Pkg     string   `json:"pkg,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []result `json:"results"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// GOMAXPROCS and NumCPU describe the host the benchmarks ran on;
+	// comparisons like shard speedups are meaningless without them.
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Results    []result `json:"results"`
+}
+
+// annotateShardResults marks every result whose `shards` metric exceeds
+// the CPUs actually available: its wall-clock comparison measures
+// barrier overhead, not parallel scaling.
+func annotateShardResults(out *output) {
+	cpus := out.GOMAXPROCS
+	if out.NumCPU < cpus {
+		cpus = out.NumCPU
+	}
+	for i := range out.Results {
+		if s, ok := out.Results[i].Metrics["shards"]; ok && int(s) > cpus {
+			out.Results[i].Note = fmt.Sprintf(
+				"shards (%d) exceed available CPUs (%d); wall-clock ratios measure barrier overhead, not parallel scaling", int(s), cpus)
+		}
+	}
+}
+
+// checkBudget compares each result's allocs/op against the committed
+// per-benchmark budget and returns one violation message per breach.
+// Budgeted benchmarks missing from the results are violations too.
+func checkBudget(out *output, budget map[string]float64) []string {
+	var bad []string
+	seen := map[string]bool{}
+	for _, r := range out.Results {
+		max, ok := budget[r.Name]
+		if !ok {
+			continue
+		}
+		seen[r.Name] = true
+		if r.AllocsPerOp == nil {
+			bad = append(bad, fmt.Sprintf("%s: no allocs/op column (run with -benchmem)", r.Name))
+			continue
+		}
+		if *r.AllocsPerOp > max {
+			bad = append(bad, fmt.Sprintf("%s: %.0f allocs/op exceeds budget %.0f", r.Name, *r.AllocsPerOp, max))
+		}
+	}
+	for name := range budget {
+		if !seen[name] {
+			bad = append(bad, fmt.Sprintf("%s: budgeted benchmark missing from results", name))
+		}
+	}
+	return bad
 }
 
 // parseLine parses one "BenchmarkName-8  	 123  	 456 ns/op ..." line.
@@ -107,7 +173,9 @@ func parseLine(line string) (result, bool) {
 }
 
 func main() {
-	var out output
+	budgetFile := flag.String("budget", "", "JSON file mapping benchmark name to max allocs/op; breaches fail with exit 1")
+	flag.Parse()
+	out := output{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -131,10 +199,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	annotateShardResults(&out)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *budgetFile != "" {
+		// The document is already written, so a failing gate still
+		// leaves the artifact for inspection.
+		data, err := os.ReadFile(*budgetFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var budget map[string]float64
+		if err := json.Unmarshal(data, &budget); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parse %s: %v\n", *budgetFile, err)
+			os.Exit(1)
+		}
+		if bad := checkBudget(&out, budget); len(bad) > 0 {
+			for _, m := range bad {
+				fmt.Fprintln(os.Stderr, "benchjson: allocation budget:", m)
+			}
+			os.Exit(1)
+		}
 	}
 }

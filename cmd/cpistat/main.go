@@ -30,6 +30,7 @@ import (
 	"regexp"
 	"sort"
 
+	"mtprefetch/internal/jsonl"
 	"mtprefetch/internal/obs"
 )
 
@@ -84,10 +85,15 @@ func newAggregate() *aggregate {
 // read consumes one JSONL stream, keeping runs matched by filter (nil
 // keeps all).
 func (a *aggregate) read(r io.Reader, filter *regexp.Regexp) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
+	sc := jsonl.NewReader(r)
+	for {
+		line, err := sc.Line()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
 		if len(line) == 0 {
 			continue
 		}
@@ -114,7 +120,6 @@ func (a *aggregate) read(r io.Reader, filter *regexp.Regexp) error {
 			ra.totals[b] += v
 		}
 	}
-	return sc.Err()
 }
 
 // empty reports whether the input contained no cycle-accounting records

@@ -141,3 +141,18 @@ func TestAggregateRejectsGarbage(t *testing.T) {
 		t.Fatal("garbage line accepted")
 	}
 }
+
+// TestAggregateLongLines is the regression test for the bufio.Scanner
+// "token too long" failure: a record padded past the old 1 MiB scanner
+// cap (here via a long run name) must parse, not error out.
+func TestAggregateLongLines(t *testing.T) {
+	longRun := strings.Repeat("r", 2<<20)
+	input := strings.Replace(sampleJSONL, `"run":"hw/a/stride/true"`, `"run":"`+longRun+`"`, -1)
+	agg := newAggregate()
+	if err := agg.read(strings.NewReader(input), nil); err != nil {
+		t.Fatalf("read with >1MiB lines: %v", err)
+	}
+	if agg.runs[longRun] == nil {
+		t.Error("long-named run not aggregated")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"regexp"
 	"sort"
 
+	"mtprefetch/internal/jsonl"
 	"mtprefetch/internal/memreq"
 	"mtprefetch/internal/obs"
 	"mtprefetch/internal/stats"
@@ -85,10 +86,15 @@ func newAggregate() *aggregate {
 // read consumes one JSONL stream, keeping runs matched by filter (nil
 // keeps all).
 func (a *aggregate) read(r io.Reader, filter *regexp.Regexp) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
+	sc := jsonl.NewReader(r)
+	for {
+		line, err := sc.Line()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
 		if len(line) == 0 {
 			continue
 		}
@@ -108,7 +114,6 @@ func (a *aggregate) read(r io.Reader, filter *regexp.Regexp) error {
 			a.rep.AddDemandTransactions(rec.DemandTransactions)
 		}
 	}
-	return sc.Err()
 }
 
 func (a *aggregate) addBucket(rec *record) {

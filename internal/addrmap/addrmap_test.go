@@ -84,3 +84,100 @@ func TestTableClusterDeletion(t *testing.T) {
 		t.Fatalf("Get(c) after cluster deletion = %d,%v, want %d,true (displaced key stranded)", got, ok, c)
 	}
 }
+
+// TestTableInterleavedIterateOracle is the churn-pattern property test:
+// the simulator's queues now recycle entries through ring buffers, so
+// the merge indexes see sustained FIFO-like insert/delete churn with
+// lookups and iteration interleaved throughout — not only at the end of
+// a run. The oracle check runs Each mid-sequence and demands the visited
+// multiset match the map exactly every time.
+func TestTableInterleavedIterateOracle(t *testing.T) {
+	const capacity = 48
+	rng := rand.New(rand.NewSource(23))
+	tab := New[int](capacity)
+	ref := make(map[uint64]int)
+	var fifo []uint64 // insertion order, for ring-buffer-like retirement
+	addr := func() uint64 { return uint64(rng.Intn(256)) * 64 }
+	for op := 0; op < 100_000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 4: // insert fresh key
+			a := addr()
+			if _, ok := ref[a]; ok || len(ref) >= capacity {
+				continue
+			}
+			ref[a] = op
+			tab.Put(a, op)
+			fifo = append(fifo, a)
+		case r < 7: // retire the oldest entry, like a drained queue
+			if len(fifo) == 0 {
+				continue
+			}
+			a := fifo[0]
+			fifo = fifo[1:]
+			want := ref[a]
+			delete(ref, a)
+			if got, ok := tab.Del(a); !ok || got != want {
+				t.Fatalf("op %d: Del(%#x) = %d,%v, want %d,true", op, a, got, ok, want)
+			}
+		case r < 9: // random lookup
+			a := addr()
+			want, wantOK := ref[a]
+			if got, ok := tab.Get(a); ok != wantOK || got != want {
+				t.Fatalf("op %d: Get(%#x) = %d,%v, want %d,%v", op, a, got, ok, want, wantOK)
+			}
+		default: // iterate mid-churn and compare the value multiset
+			seen := make(map[int]int)
+			tab.Each(func(v int) { seen[v]++ })
+			if len(seen) != len(ref) {
+				t.Fatalf("op %d: Each visited %d distinct values, want %d", op, len(seen), len(ref))
+			}
+			for _, v := range ref {
+				if seen[v] != 1 {
+					t.Fatalf("op %d: Each visited value %d %d times, want once", op, v, seen[v])
+				}
+			}
+		}
+	}
+}
+
+// TestTableWraparoundBackwardShift pins backward-shift deletion where
+// the probe cluster crosses the end of the backing array: keys homed in
+// the table's last slots probe into slot 0 and beyond, and the cyclic
+// distance comparison in Del must keep every displaced key reachable
+// when entries retire in any order.
+func TestTableWraparoundBackwardShift(t *testing.T) {
+	tab := New[uint64](8) // size 32
+	size := tab.mask + 1
+	// Collect block-aligned keys homed in the final two slots, enough to
+	// build a cluster spanning the wrap boundary.
+	var tail []uint64
+	for k := uint64(64); len(tail) < 5; k += 64 {
+		if h := tab.home(k); h == size-1 || h == size-2 {
+			tail = append(tail, k)
+		}
+	}
+	// Delete each choice of victim first, then verify every survivor.
+	for victim := range tail {
+		tab := New[uint64](8)
+		for _, k := range tail {
+			tab.Put(k, k)
+		}
+		if got, ok := tab.Del(tail[victim]); !ok || got != tail[victim] {
+			t.Fatalf("victim %d: Del = %d,%v, want %d,true", victim, got, ok, tail[victim])
+		}
+		for i, k := range tail {
+			if i == victim {
+				if _, ok := tab.Get(k); ok {
+					t.Fatalf("victim %d still present after Del", victim)
+				}
+				continue
+			}
+			if got, ok := tab.Get(k); !ok || got != k {
+				t.Fatalf("victim %d: survivor %#x unreachable after wraparound shift (= %d,%v)", victim, k, got, ok)
+			}
+		}
+		if tab.Len() != len(tail)-1 {
+			t.Fatalf("victim %d: Len = %d, want %d", victim, tab.Len(), len(tail)-1)
+		}
+	}
+}

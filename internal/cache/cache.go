@@ -90,13 +90,13 @@ func (c *Cache) Stats() Stats { return c.stats }
 func (c *Cache) Register(r *obs.Registry, l obs.Labels) {
 	n := l.Component
 	st := &c.stats
-	r.Counter(n+".accesses", l, func() uint64 { return st.Accesses })
-	r.Counter(n+".hits", l, func() uint64 { return st.Hits })
-	r.Counter(n+".misses", l, func() uint64 { return st.Misses })
-	r.Counter(n+".fills", l, func() uint64 { return st.Fills })
-	r.Counter(n+".evictions", l, func() uint64 { return st.Evictions })
-	r.Counter(n+".early_evictions", l, func() uint64 { return st.EarlyEvictions })
-	r.Counter(n+".first_uses", l, func() uint64 { return st.FirstUses })
+	r.CounterU64(n+".accesses", l, &st.Accesses)
+	r.CounterU64(n+".hits", l, &st.Hits)
+	r.CounterU64(n+".misses", l, &st.Misses)
+	r.CounterU64(n+".fills", l, &st.Fills)
+	r.CounterU64(n+".evictions", l, &st.Evictions)
+	r.CounterU64(n+".early_evictions", l, &st.EarlyEvictions)
+	r.CounterU64(n+".first_uses", l, &st.FirstUses)
 	r.Gauge(n+".occupancy", l, func() float64 { return float64(c.occupied) })
 }
 

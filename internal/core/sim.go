@@ -362,8 +362,14 @@ func New(o Options) (*Simulator, error) {
 		s.corePools = make([]*memreq.Pool, cfg.NumCores)
 		for i := range s.corePools {
 			s.corePools[i] = memreq.NewPool()
+			s.corePools[i].Prime(cfg.MRQSize)
 		}
 	} else {
+		// The pool's high-water mark is the machine's in-flight request
+		// capacity — every core's MRQ full at once — so priming to it
+		// replaces the warm-up's one-allocation-per-live-request ramp
+		// with a single arena.
+		s.pool.Prime(cfg.NumCores * cfg.MRQSize)
 		s.mem.SetPool(s.pool)
 	}
 	if !o.NoWatchdog {

@@ -14,6 +14,7 @@ import (
 	"mtprefetch/internal/cache"
 	"mtprefetch/internal/memreq"
 	"mtprefetch/internal/obs"
+	"mtprefetch/internal/ring"
 )
 
 // Config is the memory-system geometry with timings already converted to
@@ -76,9 +77,9 @@ type bank struct {
 }
 
 type channel struct {
-	queue    []*entry // unscheduled, arrival order
-	inflight []*entry // scheduled, awaiting doneAt
-	minDone  uint64   // min doneAt over inflight (stale when empty)
+	queue    ring.Buffer[*entry] // unscheduled, arrival order
+	inflight []*entry            // scheduled, awaiting doneAt
+	minDone  uint64              // min doneAt over inflight (stale when empty)
 	// reads indexes the non-writeback entries of queue+inflight by block
 	// address for O(1) inter-core merging; merging keeps it unique.
 	reads     *addrmap.Table[*entry]
@@ -101,7 +102,49 @@ type Memory struct {
 	rowBlocks uint64
 	chans     []*channel
 	pool      *memreq.Pool // nil: retired writebacks are garbage-collected
+	free      []*entry     // entry free-list; retirement recycles into it
 	stats     Stats
+}
+
+// getEntry reuses a retired entry (and its merged backing array) when one
+// is available, so steady-state enqueues stop allocating.
+func (m *Memory) getEntry(r *memreq.Request, cycle uint64, b int, row int64) *entry {
+	if n := len(m.free); n > 0 {
+		e := m.free[n-1]
+		m.free = m.free[:n-1]
+		e.req, e.arrive, e.doneAt, e.bank, e.row = r, cycle, 0, b, row
+		return e
+	}
+	return &entry{req: r, arrive: cycle, bank: b, row: row}
+}
+
+// primeMergedCap is the merged capacity carved out for each primed entry;
+// mergeInto resizes the heavy mergers once (see mergeEntryCap).
+const primeMergedCap = 4
+
+// primeEntries stocks the free-list from one contiguous arena so the
+// warm-up ramp — otherwise one allocation per concurrently buffered
+// request — collapses into two arena allocations. n is sized to the
+// request buffers' high-water mark: every channel's queue and service
+// pipeline full at once.
+func (m *Memory) primeEntries(n int) {
+	arena := make([]entry, n)
+	merged := make([]*memreq.Request, n*primeMergedCap)
+	for i := range arena {
+		arena[i].merged = merged[i*primeMergedCap : i*primeMergedCap : (i+1)*primeMergedCap]
+		m.free = append(m.free, &arena[i])
+	}
+}
+
+// putEntry recycles a retired entry. The merged slots are cleared so the
+// free-list never retains requests whose lifecycle has moved on.
+func (m *Memory) putEntry(e *entry) {
+	for i := range e.merged {
+		e.merged[i] = nil
+	}
+	e.merged = e.merged[:0]
+	e.req = nil
+	m.free = append(m.free, e)
 }
 
 // SetPool attaches a request free-list; serviced writebacks are recycled
@@ -128,6 +171,7 @@ func New(cfg Config) *Memory {
 		}
 		m.chans[i] = ch
 	}
+	m.primeEntries(cfg.Channels * (cfg.QueueSize + pipelineDepth))
 	return m
 }
 
@@ -138,21 +182,21 @@ func (m *Memory) Stats() Stats { return m.stats }
 // DRAM system is machine-wide, so callers label it obs.CoreGlobal.
 func (m *Memory) Register(r *obs.Registry, l obs.Labels) {
 	st := &m.stats
-	r.Counter("dram.demands", l, func() uint64 { return st.Demands })
-	r.Counter("dram.prefetches", l, func() uint64 { return st.Prefetches })
-	r.Counter("dram.writebacks", l, func() uint64 { return st.Writebacks })
-	r.Counter("dram.row_hits", l, func() uint64 { return st.RowHits })
-	r.Counter("dram.row_misses", l, func() uint64 { return st.RowMisses })
-	r.Counter("dram.row_closed", l, func() uint64 { return st.RowClosed })
-	r.Counter("dram.l2_hits", l, func() uint64 { return st.L2Hits })
-	r.Counter("dram.l2_misses", l, func() uint64 { return st.L2Misses })
-	r.Counter("dram.inter_core_merges", l, func() uint64 { return st.InterCoreMerges })
-	r.Counter("dram.rejects", l, func() uint64 { return st.Rejects })
-	r.Counter("dram.bus_busy", l, func() uint64 { return st.BusBusy })
+	r.CounterU64("dram.demands", l, &st.Demands)
+	r.CounterU64("dram.prefetches", l, &st.Prefetches)
+	r.CounterU64("dram.writebacks", l, &st.Writebacks)
+	r.CounterU64("dram.row_hits", l, &st.RowHits)
+	r.CounterU64("dram.row_misses", l, &st.RowMisses)
+	r.CounterU64("dram.row_closed", l, &st.RowClosed)
+	r.CounterU64("dram.l2_hits", l, &st.L2Hits)
+	r.CounterU64("dram.l2_misses", l, &st.L2Misses)
+	r.CounterU64("dram.inter_core_merges", l, &st.InterCoreMerges)
+	r.CounterU64("dram.rejects", l, &st.Rejects)
+	r.CounterU64("dram.bus_busy", l, &st.BusBusy)
 	r.Gauge("dram.queued", l, func() float64 {
 		n := 0
 		for _, ch := range m.chans {
-			n += len(ch.queue) + len(ch.inflight)
+			n += ch.queue.Len() + len(ch.inflight)
 		}
 		return float64(n)
 	})
@@ -174,7 +218,7 @@ func (m *Memory) bankRow(addr uint64) (int, int64) {
 }
 
 // QueueLen reports unscheduled entries queued at a channel.
-func (m *Memory) QueueLen(ch int) int { return len(m.chans[ch].queue) }
+func (m *Memory) QueueLen(ch int) int { return m.chans[ch].queue.Len() }
 
 // Enqueue offers a request to its channel's buffer at the given cycle. It
 // returns false when the buffer is full (the caller must retry later,
@@ -188,16 +232,16 @@ func (m *Memory) Enqueue(cycle uint64, r *memreq.Request) bool {
 			return true
 		}
 	}
-	if len(ch.queue) >= m.cfg.QueueSize {
+	if ch.queue.Len() >= m.cfg.QueueSize {
 		m.stats.Rejects++
 		return false
 	}
 	b, row := m.bankRow(r.Addr)
-	e := &entry{req: r, arrive: cycle, bank: b, row: row}
+	e := m.getEntry(r, cycle, b, row)
 	if r.Kind != memreq.Writeback {
 		ch.reads.Put(r.Addr, e)
 	}
-	ch.queue = append(ch.queue, e)
+	ch.queue.Push(e)
 	return true
 }
 
@@ -208,8 +252,24 @@ func (m *Memory) mergeInto(e *entry, r *memreq.Request) {
 		e.req.DemandMerged = e.req.DemandMerged || e.req.WasPrefetch
 		e.req.Kind = memreq.Demand
 	}
+	if len(e.merged) == cap(e.merged) {
+		// Jump past append's small-capacity ladder: entries recycle
+		// through the free-list for the whole run, so one right-sized
+		// backing array replaces a 1-2-4-8 reallocation sequence.
+		c := cap(e.merged) * 2
+		if c < mergeEntryCap {
+			c = mergeEntryCap
+		}
+		nm := make([]*memreq.Request, len(e.merged), c)
+		copy(nm, e.merged)
+		e.merged = nm
+	}
 	e.merged = append(e.merged, r)
 }
+
+// mergeEntryCap is the minimum merged capacity allocated on the first
+// growth past the primed carve-out.
+const mergeEntryCap = 16
 
 // prio ranks an entry for FR-FCFS with demand priority: lower is better.
 func (m *Memory) prio(cycle uint64, ch *channel, e *entry) int {
@@ -271,17 +331,18 @@ func (m *Memory) stepChannel(cycle uint64, ch *channel, done []*memreq.Request) 
 			}
 			// Merged entries never hold writebacks (Enqueue only merges reads).
 			done = append(done, e.merged...)
+			m.putEntry(e)
 		}
 		ch.minDone = newMin
 	}
 	// Schedule at most one new access per call while the pipeline has room.
-	if len(ch.queue) == 0 || len(ch.inflight) >= pipelineDepth {
+	if ch.queue.Len() == 0 || len(ch.inflight) >= pipelineDepth {
 		return done
 	}
 	best := -1
 	bestPrio := 4
-	for i, e := range ch.queue {
-		p := m.prio(cycle, ch, e)
+	for i := 0; i < ch.queue.Len(); i++ {
+		p := m.prio(cycle, ch, ch.queue.At(i))
 		if p < bestPrio { // ties resolved oldest-first by scan order
 			bestPrio = p
 			best = i
@@ -290,9 +351,7 @@ func (m *Memory) stepChannel(cycle uint64, ch *channel, done []*memreq.Request) 
 			break
 		}
 	}
-	e := ch.queue[best]
-	copy(ch.queue[best:], ch.queue[best+1:])
-	ch.queue = ch.queue[:len(ch.queue)-1]
+	e := ch.queue.RemoveAt(best)
 	// L2 slice: a hit bypasses the banks and the data bus entirely.
 	if ch.l2 != nil && e.req.Kind != memreq.Writeback && ch.l2.Lookup(e.req.Addr) {
 		m.stats.L2Hits++
@@ -369,7 +428,7 @@ func (m *Memory) NextEvent(cycle uint64) uint64 {
 	// Cheap pass first: any channel able to schedule pins the next event
 	// to the very next cycle, making the in-flight scan unnecessary.
 	for _, ch := range m.chans {
-		if len(ch.queue) > 0 && len(ch.inflight) < pipelineDepth {
+		if ch.queue.Len() > 0 && len(ch.inflight) < pipelineDepth {
 			return cycle + 1
 		}
 	}
@@ -385,7 +444,7 @@ func (m *Memory) NextEvent(cycle uint64) uint64 {
 // Drained reports whether no requests remain anywhere in the memory system.
 func (m *Memory) Drained() bool {
 	for _, ch := range m.chans {
-		if len(ch.queue) > 0 || len(ch.inflight) > 0 {
+		if ch.queue.Len() > 0 || len(ch.inflight) > 0 {
 			return false
 		}
 	}

@@ -1,0 +1,82 @@
+package jsonl
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// collect drains r into a slice of line copies.
+func collect(t *testing.T, r *Reader) []string {
+	t.Helper()
+	var out []string
+	for {
+		line, err := r.Line()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, string(line))
+	}
+}
+
+func TestShortLines(t *testing.T) {
+	r := NewReader(strings.NewReader("a\nbb\r\n\nccc"))
+	got := collect(t, r)
+	want := []string{"a", "bb", "", "ccc"}
+	if len(got) != len(want) {
+		t.Fatalf("lines = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestLongLines is the regression test for the bufio.Scanner "token too
+// long" failure: lines several times the internal buffer size must come
+// back intact.
+func TestLongLines(t *testing.T) {
+	long1 := strings.Repeat("x", 3<<20) // 3 MiB, past any fixed scanner cap
+	long2 := strings.Repeat("y", 256<<10)
+	input := "short\n" + long1 + "\n" + long2 + "\nlast"
+	r := NewReader(strings.NewReader(input))
+	got := collect(t, r)
+	if len(got) != 4 {
+		t.Fatalf("lines = %d, want 4", len(got))
+	}
+	if got[0] != "short" || got[3] != "last" {
+		t.Errorf("framing lines = %q, %q", got[0], got[3])
+	}
+	if got[1] != long1 {
+		t.Errorf("3MiB line came back with %d bytes", len(got[1]))
+	}
+	if got[2] != long2 {
+		t.Errorf("256KiB line came back with %d bytes", len(got[2]))
+	}
+}
+
+func TestUnterminatedLongFinalLine(t *testing.T) {
+	long := strings.Repeat("z", 1<<20)
+	r := NewReader(strings.NewReader(long))
+	line, err := r.Line()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(line) != long {
+		t.Fatalf("final line came back with %d bytes, want %d", len(line), len(long))
+	}
+	if _, err := r.Line(); err != io.EOF {
+		t.Fatalf("after final line: err = %v, want EOF", err)
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(nil)).Line(); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want EOF", err)
+	}
+}

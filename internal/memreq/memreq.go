@@ -189,9 +189,11 @@ type Provenance struct {
 	Warp    int32 // global warp id whose access triggered generation
 }
 
-// Waiter identifies a warp register waiting on a demand fill.
+// Waiter identifies a warp register waiting on a demand fill. It is
+// kept to one word so the Waiters lists the hot fill path walks stay
+// dense.
 type Waiter struct {
-	Warp int // core-local warp slot index
+	Warp int32 // core-local warp slot index
 	Reg  uint8
 }
 
@@ -244,11 +246,30 @@ func New(addr uint64, blockBytes int, kind Kind, coreID, warpID, pc int, cycle u
 
 // MergeDemand upgrades r after a demand request to the same block merged
 // into it, attaching the demand's waiters and recording lateness when r
-// was a prefetch.
+// was a prefetch. Growth skips append's small-capacity ladder and jumps
+// straight to a merge-sized backing array: requests recycle through the
+// Pool for a whole run, so one right-sized allocation per request
+// replaces a 1-2-4-8 reallocation sequence.
 func (r *Request) MergeDemand(waiters []Waiter) {
 	if r.Kind == Prefetch {
 		r.DemandMerged = true
 		r.Kind = Demand
 	}
+	if need := len(r.Waiters) + len(waiters); need > cap(r.Waiters) {
+		c := cap(r.Waiters) * 2
+		if c < mergeWaiterCap {
+			c = mergeWaiterCap
+		}
+		for c < need {
+			c *= 2
+		}
+		nw := make([]Waiter, len(r.Waiters), c)
+		copy(nw, r.Waiters)
+		r.Waiters = nw
+	}
 	r.Waiters = append(r.Waiters, waiters...)
 }
+
+// mergeWaiterCap is the minimum Waiters capacity allocated on the first
+// merge-driven growth; merging entries tend to keep accumulating waiters.
+const mergeWaiterCap = 16

@@ -14,6 +14,29 @@ type Pool struct {
 // NewPool returns an empty pool.
 func NewPool() *Pool { return &Pool{} }
 
+// primeWaiterCap is the Waiters capacity carved out for each primed
+// request; within it, the first few demand waiters append without
+// allocating (MergeDemand resizes the heavy mergers once, see
+// mergeWaiterCap).
+const primeWaiterCap = 4
+
+// Prime stocks the pool with n requests up front, from one contiguous
+// arena, each with a small pre-carved Waiters capacity. Sizing n near the
+// machine's in-flight high-water mark (MRQ entries across cores) turns
+// the pool's warm-up — otherwise one allocation per concurrently live
+// request — into two arena allocations.
+func (p *Pool) Prime(n int) {
+	if p == nil || n <= 0 {
+		return
+	}
+	arena := make([]Request, n)
+	waiters := make([]Waiter, n*primeWaiterCap)
+	for i := range arena {
+		arena[i].Waiters = waiters[i*primeWaiterCap : i*primeWaiterCap : (i+1)*primeWaiterCap]
+		p.free = append(p.free, &arena[i])
+	}
+}
+
 // Get returns a block-aligned request like New, reusing a recycled
 // Request (and its Waiters backing array) when one is available.
 func (p *Pool) Get(addr uint64, blockBytes int, kind Kind, coreID, warpID, pc int, cycle uint64) *Request {

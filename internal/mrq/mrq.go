@@ -13,6 +13,7 @@ import (
 
 	"mtprefetch/internal/memreq"
 	"mtprefetch/internal/obs"
+	"mtprefetch/internal/ring"
 	"mtprefetch/internal/simerr"
 )
 
@@ -52,7 +53,7 @@ func (s *Stats) TotalArrivals() uint64 {
 type Queue struct {
 	capacity    int
 	byAddr      *addrmap.Table[*memreq.Request]
-	sendq       []*memreq.Request
+	sendq       ring.Buffer[*memreq.Request]
 	outstanding int
 	stats       Stats
 	pf          *obs.PFReport // nil: attribution disabled
@@ -73,13 +74,13 @@ func (q *Queue) Stats() Stats { return q.stats }
 // occupancy series of the epoch sampler) into the registry.
 func (q *Queue) Register(r *obs.Registry, l obs.Labels) {
 	st := &q.stats
-	r.Counter("mrq.demands", l, func() uint64 { return st.Demands })
-	r.Counter("mrq.prefetches", l, func() uint64 { return st.Prefetches })
-	r.Counter("mrq.writebacks", l, func() uint64 { return st.Writebacks })
-	r.Counter("mrq.merges", l, func() uint64 { return st.Merges })
-	r.Counter("mrq.demand_into_prefetch", l, func() uint64 { return st.DemandIntoPrefetch })
-	r.Counter("mrq.prefetch_merged", l, func() uint64 { return st.PrefetchMerged })
-	r.Counter("mrq.rejects", l, func() uint64 { return st.Rejects })
+	r.CounterU64("mrq.demands", l, &st.Demands)
+	r.CounterU64("mrq.prefetches", l, &st.Prefetches)
+	r.CounterU64("mrq.writebacks", l, &st.Writebacks)
+	r.CounterU64("mrq.merges", l, &st.Merges)
+	r.CounterU64("mrq.demand_into_prefetch", l, &st.DemandIntoPrefetch)
+	r.CounterU64("mrq.prefetch_merged", l, &st.PrefetchMerged)
+	r.CounterU64("mrq.rejects", l, &st.Rejects)
 	r.Gauge("mrq.outstanding", l, func() float64 { return float64(q.outstanding) })
 }
 
@@ -112,7 +113,7 @@ func (q *Queue) OldestIssueCycle() (uint64, bool) {
 
 // SendQueueLen reports requests accepted but not yet injected into the
 // network, for diagnostic snapshots.
-func (q *Queue) SendQueueLen() int { return len(q.sendq) }
+func (q *Queue) SendQueueLen() int { return q.sendq.Len() }
 
 // WaiterCount sums the waiters attached to in-flight entries, the MRQ
 // side of the core's scoreboard-balance invariant.
@@ -128,8 +129,8 @@ func (q *Queue) WaiterCount() int {
 // identity — and occupancy must stay within [0, capacity].
 func (q *Queue) CheckInvariants(cycle uint64, core int) error {
 	wbs := 0
-	for _, r := range q.sendq {
-		if r.Kind == memreq.Writeback {
+	for i := 0; i < q.sendq.Len(); i++ {
+		if q.sendq.At(i).Kind == memreq.Writeback {
 			wbs++
 		}
 	}
@@ -158,7 +159,7 @@ func (q *Queue) Lookup(addr uint64) *memreq.Request { r, _ := q.byAddr.Get(addr)
 // never otherwise (completions are the memory system's events). It is
 // part of the event-driven cycle-skipping contract (see core.Run).
 func (q *Queue) NextEvent(cycle uint64) uint64 {
-	if len(q.sendq) > 0 {
+	if q.sendq.Len() > 0 {
 		return cycle + 1
 	}
 	return ^uint64(0)
@@ -200,27 +201,23 @@ func (q *Queue) Add(r *memreq.Request) AddResult {
 	if r.Kind != memreq.Writeback {
 		q.byAddr.Put(r.Addr, r)
 	}
-	q.sendq = append(q.sendq, r)
+	q.sendq.Push(r)
 	return Accepted
 }
 
 // NextSend peeks the oldest unsent request, or nil.
 func (q *Queue) NextSend() *memreq.Request {
-	if len(q.sendq) == 0 {
-		return nil
-	}
-	return q.sendq[0]
+	r, _ := q.sendq.Front()
+	return r
 }
 
 // PopSend removes and returns the oldest unsent request. Writebacks are
 // fire-and-forget: popping one frees its entry immediately.
 func (q *Queue) PopSend() *memreq.Request {
-	if len(q.sendq) == 0 {
+	r, ok := q.sendq.Pop()
+	if !ok {
 		return nil
 	}
-	r := q.sendq[0]
-	copy(q.sendq, q.sendq[1:])
-	q.sendq = q.sendq[:len(q.sendq)-1]
 	if r.Kind == memreq.Writeback {
 		q.outstanding--
 	}

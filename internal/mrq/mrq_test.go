@@ -8,7 +8,7 @@ import (
 
 func demand(addr uint64, warp int) *memreq.Request {
 	r := memreq.New(addr, 64, memreq.Demand, 0, warp, 1, 0)
-	r.Waiters = []memreq.Waiter{{Warp: warp, Reg: 1}}
+	r.Waiters = []memreq.Waiter{{Warp: int32(warp), Reg: 1}}
 	return r
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"mtprefetch/internal/memreq"
+	"mtprefetch/internal/ring"
 	"mtprefetch/internal/simerr"
 )
 
@@ -24,42 +25,15 @@ type delivery struct {
 	req *memreq.Request
 }
 
-// fifo is a queue with an amortised-O(1) pop.
-type fifo struct {
-	items []delivery
-	head  int
-}
-
-func (f *fifo) push(d delivery) { f.items = append(f.items, d) }
-
-func (f *fifo) peek() (delivery, bool) {
-	if f.head >= len(f.items) {
-		return delivery{}, false
-	}
-	return f.items[f.head], true
-}
-
-func (f *fifo) pop() delivery {
-	d := f.items[f.head]
-	f.items[f.head].req = nil
-	f.head++
-	if f.head > 64 && f.head*2 >= len(f.items) {
-		n := copy(f.items, f.items[f.head:])
-		f.items = f.items[:n]
-		f.head = 0
-	}
-	return d
-}
-
-func (f *fifo) len() int { return len(f.items) - f.head }
-
 // Network is the core<->memory interconnect. Because the latency is fixed,
-// each direction is a simple FIFO of timestamped deliveries.
+// each direction is a simple FIFO of timestamped deliveries; the ring
+// buffers reach a steady state after warmup, so pushes and pops stop
+// allocating.
 type Network struct {
 	latency           int
 	maxInject         int
-	toMem             fifo
-	toCore            fifo
+	toMem             ring.Buffer[delivery]
+	toCore            ring.Buffer[delivery]
 	curCycle          uint64
 	injectedThisCycle int
 	stats             Stats
@@ -91,7 +65,7 @@ func (n *Network) TryInjectRequest(cycle uint64, r *memreq.Request) bool {
 	}
 	n.injectedThisCycle++
 	n.stats.RequestsInjected++
-	n.toMem.push(delivery{at: cycle + uint64(n.latency), req: r})
+	n.toMem.Push(delivery{at: cycle + uint64(n.latency), req: r})
 	return true
 }
 
@@ -99,18 +73,19 @@ func (n *Network) TryInjectRequest(cycle uint64, r *memreq.Request) bool {
 // rate-limited here — the DRAM data bus already paces them.
 func (n *Network) InjectResponse(cycle uint64, r *memreq.Request) {
 	n.stats.ResponsesInjected++
-	n.toCore.push(delivery{at: cycle + uint64(n.latency), req: r})
+	n.toCore.Push(delivery{at: cycle + uint64(n.latency), req: r})
 }
 
 // ArrivedRequests appends to buf every request due at or before cycle and
 // returns the extended slice.
 func (n *Network) ArrivedRequests(cycle uint64, buf []*memreq.Request) []*memreq.Request {
 	for {
-		d, ok := n.toMem.peek()
+		d, ok := n.toMem.Front()
 		if !ok || d.at > cycle {
 			return buf
 		}
-		buf = append(buf, n.toMem.pop().req)
+		n.toMem.Pop()
+		buf = append(buf, d.req)
 		n.stats.RequestsDelivered++
 	}
 }
@@ -119,17 +94,18 @@ func (n *Network) ArrivedRequests(cycle uint64, buf []*memreq.Request) []*memreq
 // and returns the extended slice.
 func (n *Network) ArrivedResponses(cycle uint64, buf []*memreq.Request) []*memreq.Request {
 	for {
-		d, ok := n.toCore.peek()
+		d, ok := n.toCore.Front()
 		if !ok || d.at > cycle {
 			return buf
 		}
-		buf = append(buf, n.toCore.pop().req)
+		n.toCore.Pop()
+		buf = append(buf, d.req)
 		n.stats.ResponsesDelivered++
 	}
 }
 
 // InFlight reports messages currently traversing the network.
-func (n *Network) InFlight() int { return n.toMem.len() + n.toCore.len() }
+func (n *Network) InFlight() int { return n.toMem.Len() + n.toCore.Len() }
 
 // NextEvent reports the earliest cycle at which a message is due for
 // delivery in either direction, or the maximum uint64 when the network
@@ -138,10 +114,10 @@ func (n *Network) InFlight() int { return n.toMem.len() + n.toCore.len() }
 // event-driven cycle-skipping contract (see core.Run).
 func (n *Network) NextEvent() uint64 {
 	next := ^uint64(0)
-	if d, ok := n.toMem.peek(); ok {
+	if d, ok := n.toMem.Front(); ok {
 		next = d.at
 	}
-	if d, ok := n.toCore.peek(); ok && d.at < next {
+	if d, ok := n.toCore.Front(); ok && d.at < next {
 		next = d.at
 	}
 	return next

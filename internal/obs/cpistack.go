@@ -115,6 +115,7 @@ type CPIStack struct {
 	cores    []*CoreCPI
 	prevCore [][NumBuckets]uint64 // per-core totals at the last epoch close
 	epochs   []Epoch
+	tolStore []Tolerance // arena the epochs' Tol views are carved from
 
 	mu        sync.Mutex
 	latest    []Tolerance
@@ -171,7 +172,14 @@ func (p *CPIStack) CloseEpoch(cycle uint64, tol []Tolerance, tr *Tracer) {
 	if p == nil {
 		return
 	}
-	e := Epoch{Cycle: cycle, Tol: append([]Tolerance(nil), tol...)}
+	// Carve the epoch's tolerance copy from a shared arena with a
+	// full-slice expression: later arena growth either reallocates
+	// (earlier epochs keep their old backing arrays) or appends past this
+	// view's capacity, so the view stays immutable and steady-state epoch
+	// closes stop allocating per call.
+	start := len(p.tolStore)
+	p.tolStore = append(p.tolStore, tol...)
+	e := Epoch{Cycle: cycle, Tol: p.tolStore[start:len(p.tolStore):len(p.tolStore)]}
 	for i, c := range p.cores {
 		for b := 0; b < int(NumBuckets); b++ {
 			d := c.Buckets[b] - p.prevCore[i][b]

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"errors"
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+// Append-based JSON encoding primitives for the observability JSONL
+// writers. They replicate encoding/json's output byte-for-byte (string
+// escaping with HTML-safe mode on, the float format selection and
+// exponent cleanup of its floatEncoder) so converting a writer from
+// json.Marshal to these helpers cannot change committed golden files —
+// jsonl_test.go fuzzes that equivalence. What they buy is allocation
+// behaviour: everything appends into a caller-reused buffer instead of
+// building interface maps and intermediate byte slices per record.
+
+// jsonSafe reports whether byte c can appear verbatim inside a JSON
+// string with HTML escaping on (encoding/json's htmlSafeSet).
+func jsonSafe(c byte) bool {
+	return c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&'
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a quoted, escaped JSON string.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if jsonSafe(c) {
+				i++
+				continue
+			}
+			buf = append(buf, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				buf = append(buf, '\\', c)
+			case '\b':
+				buf = append(buf, '\\', 'b')
+			case '\f':
+				buf = append(buf, '\\', 'f')
+			case '\n':
+				buf = append(buf, '\\', 'n')
+			case '\r':
+				buf = append(buf, '\\', 'r')
+			case '\t':
+				buf = append(buf, '\\', 't')
+			default:
+				// Control characters and the HTML-sensitive <, >, &
+				// become \u00xx, matching encoding/json.
+				buf = append(buf, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		// U+2028 and U+2029 are valid JSON but break JS string literals;
+		// encoding/json escapes them.
+		if r == '\u2028' || r == '\u2029' {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
+}
+
+// appendJSONUint appends n as a JSON number.
+func appendJSONUint(buf []byte, n uint64) []byte {
+	return strconv.AppendUint(buf, n, 10)
+}
+
+// errUnsupportedFloat mirrors encoding/json's refusal to encode
+// non-finite floats.
+var errUnsupportedFloat = errors.New("unsupported value: NaN or Infinity")
+
+// appendJSONFloat appends f as a JSON number using encoding/json's
+// format selection: shortest representation, 'f' form except for very
+// small or very large magnitudes which use 'e' form with a trimmed
+// single-digit exponent ("2e-07" not "2e-07"... i.e. "e-07" → "e-7").
+func appendJSONFloat(buf []byte, f float64) ([]byte, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return buf, errUnsupportedFloat
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	start := len(buf)
+	buf = strconv.AppendFloat(buf, f, format, -1, 64)
+	if format == 'e' {
+		// Trim the leading zero of a single-digit exponent: e-09 → e-9.
+		if n := len(buf); n-start >= 4 && buf[n-4] == 'e' && buf[n-3] == '-' && buf[n-2] == '0' {
+			buf[n-2] = buf[n-1]
+			buf = buf[:n-1]
+		}
+	}
+	return buf, nil
+}

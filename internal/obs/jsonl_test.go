@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refMarshal is the encoding the hand-rolled helpers must replicate.
+func refMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("json.Marshal(%v): %v", v, err)
+	}
+	return b
+}
+
+func TestAppendJSONStringMatchesEncodingJSON(t *testing.T) {
+	cases := []string{
+		"", "plain", "with space", `quote"inside`, `back\slash`,
+		"new\nline", "tab\there", "carriage\rreturn", "nul\x00byte",
+		"ctrl\x1fchar", "html<>&escapes", "unicode: 日本語",
+		"line sep   and   para", "invalid \xff utf8",
+		"mixed<\n\xfe >&end", "\x7f del is safe",
+	}
+	for _, s := range cases {
+		want := refMarshal(t, s)
+		got := appendJSONString(nil, s)
+		if !bytes.Equal(got, want) {
+			t.Errorf("appendJSONString(%q) = %s, want %s", s, got, want)
+		}
+	}
+}
+
+func TestAppendJSONFloatMatchesEncodingJSON(t *testing.T) {
+	cases := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, 2.0 / 3.0, 1e-6, 9.9e-7, 1e-7,
+		-1e-7, 1e21, 1e20, -1e21, 1e-20, 123456.789, 3.141592653589793,
+		math.MaxFloat64, math.SmallestNonzeroFloat64, 42, 1000000,
+	}
+	for _, f := range cases {
+		want := refMarshal(t, f)
+		got, err := appendJSONFloat(nil, f)
+		if err != nil {
+			t.Fatalf("appendJSONFloat(%v): %v", f, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("appendJSONFloat(%v) = %s, want %s", f, got, want)
+		}
+	}
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := appendJSONFloat(nil, f); err == nil {
+			t.Errorf("appendJSONFloat(%v) accepted a non-finite value", f)
+		}
+	}
+}
+
+func TestAppendJSONFloatFuzzMatchesEncodingJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		f := math.Ldexp(rng.Float64()*2-1, rng.Intn(160)-80)
+		want := refMarshal(t, f)
+		got, err := appendJSONFloat(nil, f)
+		if err != nil {
+			t.Fatalf("appendJSONFloat(%v): %v", f, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("appendJSONFloat(%v) = %s, want %s", f, got, want)
+		}
+	}
+}
+
+func TestAppendJSONStringFuzzMatchesEncodingJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(24)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(rng.Intn(256))
+		}
+		s := string(b)
+		want := refMarshal(t, s)
+		got := appendJSONString(nil, s)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("appendJSONString(%q) = %s, want %s", s, got, want)
+		}
+	}
+}
+
+// TestSamplerWriteJSONLMatchesMapMarshal pins the hand-rolled sampler
+// writer to what the previous implementation produced: one json.Marshal
+// of a map holding the meta keys, "cycle", and every series value.
+func TestSamplerWriteJSONLMatchesMapMarshal(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		r := NewRegistry()
+		var n uint64
+		r.CounterU64("n", Labels{}, &n)
+		s := NewSampler(r, 10)
+		names := []string{"rate", "ipc<odd>", "run", "cycle", "z w"}
+		defs := make([]SeriesDef, 1+rng.Intn(4))
+		for i := range defs {
+			defs[i] = SeriesDef{Name: names[rng.Intn(len(names))], Kind: SeriesPerCycle, Num: []string{"n"}, Scale: math.Ldexp(rng.Float64(), rng.Intn(40)-20)}
+		}
+		s.Define(defs...)
+		meta := map[string]string{}
+		for _, k := range []string{"run", "bench", "cycle", "odd\"key"} {
+			if rng.Intn(2) == 0 {
+				meta[k] = []string{"gstable", "a<b>&c", "x\xffy", ""}[rng.Intn(4)]
+			}
+		}
+		epochs := 1 + rng.Intn(3)
+		for e := 1; e <= epochs; e++ {
+			n += uint64(rng.Intn(1000))
+			s.Tick(uint64(10 * e))
+		}
+
+		var got bytes.Buffer
+		if err := s.WriteJSONL(&got, meta); err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		for _, p := range s.Points() {
+			line := make(map[string]any, len(defs)+len(meta)+1)
+			for k, v := range meta {
+				line[k] = v
+			}
+			line["cycle"] = p.Cycle
+			for i, d := range defs {
+				line[d.Name] = p.Values[i]
+			}
+			b, err := json.Marshal(line)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want.Write(append(b, '\n'))
+		}
+		if got.String() != want.String() {
+			t.Fatalf("trial %d: writer diverged from json.Marshal\n got: %s\nwant: %s", trial, got.String(), want.String())
+		}
+	}
+}

@@ -81,12 +81,13 @@ func TestSamplerEpochDeltas(t *testing.T) {
 	if len(pts) != 3 {
 		t.Fatalf("points = %d, want 3 (two epochs + final partial)", len(pts))
 	}
-	for i, p := range pts {
-		if p.Values["ipc"] < 1.9 || p.Values["ipc"] > 2.1 {
-			t.Errorf("point %d ipc = %v, want ~2", i, p.Values["ipc"])
+	ipc, ratio := s.Series("ipc"), s.Series("ratio")
+	for i := range pts {
+		if ipc[i] < 1.9 || ipc[i] > 2.1 {
+			t.Errorf("point %d ipc = %v, want ~2", i, ipc[i])
 		}
-		if p.Values["ratio"] != 1 {
-			t.Errorf("point %d self-ratio = %v, want 1", i, p.Values["ratio"])
+		if ratio[i] != 1 {
+			t.Errorf("point %d self-ratio = %v, want 1", i, ratio[i])
 		}
 	}
 	if got := s.Series("ipc"); len(got) != 3 {

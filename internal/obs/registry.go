@@ -39,9 +39,19 @@ type Instrument struct {
 	Labels Labels
 	Kind   Kind
 
-	counter func() uint64
-	gauge   func() float64
-	hist    func() stats.Histogram
+	counter    func() uint64
+	counterPtr *uint64
+	gauge      func() float64
+	hist       func() stats.Histogram
+}
+
+// readCounter samples a counter instrument through whichever source it was
+// registered with.
+func (in *Instrument) readCounter() uint64 {
+	if in.counterPtr != nil {
+		return *in.counterPtr
+	}
+	return in.counter()
 }
 
 // Registry holds a simulation's instruments, indexed by name. The index
@@ -63,7 +73,14 @@ func NewRegistry() *Registry {
 func (r *Registry) add(in Instrument) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.byName[in.Name] = append(r.byName[in.Name], len(r.instruments))
+	ids := r.byName[in.Name]
+	if ids == nil {
+		// Most names register once per core; starting at per-core width
+		// skips the append ladder the 14-core machine would otherwise
+		// walk for every shared name.
+		ids = make([]int, 0, 16)
+	}
+	r.byName[in.Name] = append(ids, len(r.instruments))
 	r.instruments = append(r.instruments, in)
 }
 
@@ -74,6 +91,18 @@ func (r *Registry) Counter(name string, l Labels, fn func() uint64) {
 		return
 	}
 	r.add(Instrument{Name: name, Labels: l, Kind: KindCounter, counter: fn})
+}
+
+// CounterU64 registers a counter sampled by reading *p directly. It is the
+// allocation-free flavour of Counter for the common case where the sample
+// is a plain field read: no closure is allocated per instrument, which
+// keeps per-run setup off the allocator when a machine registers hundreds
+// of counters. Nil receivers and nil p are ignored.
+func (r *Registry) CounterU64(name string, l Labels, p *uint64) {
+	if r == nil || p == nil {
+		return
+	}
+	r.add(Instrument{Name: name, Labels: l, Kind: KindCounter, counterPtr: p})
 }
 
 // Gauge registers an instantaneous value sampled by fn.
@@ -104,7 +133,7 @@ func (r *Registry) Sum(name string) uint64 {
 	var total uint64
 	for _, i := range r.byName[name] {
 		if in := &r.instruments[i]; in.Kind == KindCounter {
-			total += in.counter()
+			total += in.readCounter()
 		}
 	}
 	return total
@@ -228,7 +257,7 @@ func (r *Registry) Snapshot() []SnapshotEntry {
 func (in *Instrument) Value() float64 {
 	switch in.Kind {
 	case KindCounter:
-		return float64(in.counter())
+		return float64(in.readCounter())
 	case KindGauge:
 		return in.gauge()
 	case KindHistogram:

@@ -1,9 +1,9 @@
 package obs
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // SeriesKind selects how a series value is derived from the registry at
@@ -41,26 +41,42 @@ func (d *SeriesDef) scale() float64 {
 	return d.Scale
 }
 
+// compiledDef is a SeriesDef with its counter names resolved to indices
+// into the sampler's interned name table, so each epoch's delta sums are
+// slice walks instead of map lookups.
+type compiledDef struct {
+	num, sub, den []int
+}
+
 // Point is one epoch sample: the cycle it closed at and each series'
-// value for the epoch.
+// value for the epoch, in definition order (see Sampler.Series for
+// extraction by name).
 type Point struct {
 	Cycle  uint64
-	Values map[string]float64
+	Values []float64 // parallel to the sampler's defs
 }
 
 // Sampler snapshots derived series every epoch. Create with NewSampler,
 // add series with Define, then call Tick from the simulation loop (cheap:
 // one comparison per cycle) and Finish once at end of run.
+//
+// The per-epoch state is flat: counter names are interned into one
+// ordered table at Define time, the previous/current sums live in two
+// reused slices, and point values are carved from a shared growable
+// arena — after warmup an epoch close performs no heap allocation.
 type Sampler struct {
 	reg   *Registry
 	every uint64
 	next  uint64
 	defs  []SeriesDef
+	comp  []compiledDef
 
-	prev      map[string]uint64 // summed counters at the last epoch close
+	names     []string // interned counter names, in first-use order
+	nameIdx   map[string]int
+	prev, cur []uint64 // summed counters at the last/current epoch close
 	prevCycle uint64
 	points    []Point
-	counters  map[string]bool // counter names needed by the defs
+	valStore  []float64 // arena the points' Values are carved from
 }
 
 // NewSampler builds a sampler over reg with the given epoch length.
@@ -69,11 +85,10 @@ func NewSampler(reg *Registry, every uint64) *Sampler {
 		return nil
 	}
 	return &Sampler{
-		reg:      reg,
-		every:    every,
-		next:     every,
-		prev:     make(map[string]uint64),
-		counters: make(map[string]bool),
+		reg:     reg,
+		every:   every,
+		next:    every,
+		nameIdx: make(map[string]int),
 	}
 }
 
@@ -82,16 +97,44 @@ func (s *Sampler) Define(defs ...SeriesDef) {
 	if s == nil {
 		return
 	}
-	s.defs = append(s.defs, defs...)
 	for _, d := range defs {
+		s.defs = append(s.defs, d)
+		var c compiledDef
 		if d.Kind == SeriesRatio || d.Kind == SeriesPerCycle {
-			for _, lists := range [][]string{d.Num, d.Sub, d.Den} {
-				for _, n := range lists {
-					s.counters[n] = true
-				}
-			}
+			c.num = s.intern(d.Num)
+			c.sub = s.intern(d.Sub)
+			c.den = s.intern(d.Den)
 		}
+		s.comp = append(s.comp, c)
 	}
+	s.prev = growTo(s.prev, len(s.names))
+	s.cur = growTo(s.cur, len(s.names))
+}
+
+// intern maps counter names to indices in the shared name table.
+func (s *Sampler) intern(names []string) []int {
+	if len(names) == 0 {
+		return nil
+	}
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j, ok := s.nameIdx[n]
+		if !ok {
+			j = len(s.names)
+			s.names = append(s.names, n)
+			s.nameIdx[n] = j
+		}
+		idx[i] = j
+	}
+	return idx
+}
+
+// growTo extends v with zeros to length n, preserving the prefix.
+func growTo(v []uint64, n int) []uint64 {
+	for len(v) < n {
+		v = append(v, 0)
+	}
+	return v
 }
 
 // Tick samples an epoch if cycle crossed the epoch boundary. It is safe
@@ -125,30 +168,29 @@ func (s *Sampler) Finish(cycle uint64) {
 }
 
 func (s *Sampler) sample(cycle uint64) {
-	cur := make(map[string]uint64, len(s.counters))
-	for n := range s.counters {
-		cur[n] = s.reg.Sum(n)
+	for i, n := range s.names {
+		s.cur[i] = s.reg.Sum(n)
 	}
-	dsum := func(names []string) float64 {
+	dsum := func(idx []int) float64 {
 		var d uint64
-		for _, n := range names {
-			d += cur[n] - s.prev[n]
+		for _, i := range idx {
+			d += s.cur[i] - s.prev[i]
 		}
 		return float64(d)
 	}
-	p := Point{Cycle: cycle, Values: make(map[string]float64, len(s.defs))}
+	start := len(s.valStore)
 	dcycles := float64(cycle - s.prevCycle)
 	for i := range s.defs {
 		d := &s.defs[i]
 		var v float64
 		switch d.Kind {
 		case SeriesRatio:
-			if den := dsum(d.Den); den > 0 {
-				v = (dsum(d.Num) - dsum(d.Sub)) / den * d.scale()
+			if den := dsum(s.comp[i].den); den > 0 {
+				v = (dsum(s.comp[i].num) - dsum(s.comp[i].sub)) / den * d.scale()
 			}
 		case SeriesPerCycle:
 			if dcycles > 0 {
-				v = dsum(d.Num) / dcycles * d.scale()
+				v = dsum(s.comp[i].num) / dcycles * d.scale()
 			}
 		case SeriesGaugeSum:
 			if len(d.Num) > 0 {
@@ -159,10 +201,14 @@ func (s *Sampler) sample(cycle uint64) {
 				v = s.reg.GaugeMean(d.Num[0]) * d.scale()
 			}
 		}
-		p.Values[d.Name] = v
+		s.valStore = append(s.valStore, v)
 	}
-	s.points = append(s.points, p)
-	s.prev = cur
+	// Carve this epoch's values with a full-slice expression: later arena
+	// growth either reallocates (earlier points keep their old backing
+	// arrays, data intact) or appends past this point's capacity — either
+	// way the carved view is immutable.
+	s.points = append(s.points, Point{Cycle: cycle, Values: s.valStore[start:len(s.valStore):len(s.valStore)]})
+	s.prev, s.cur = s.cur, s.prev
 	s.prevCycle = cycle
 }
 
@@ -174,40 +220,94 @@ func (s *Sampler) Points() []Point {
 	return s.points
 }
 
-// Series extracts one named series in epoch order.
+// Series extracts one named series in epoch order; nil when the name was
+// never defined.
 func (s *Sampler) Series(name string) []float64 {
 	if s == nil {
 		return nil
 	}
+	di := -1
+	for i := range s.defs {
+		if s.defs[i].Name == name {
+			di = i
+			break
+		}
+	}
+	if di < 0 {
+		return nil
+	}
 	out := make([]float64, 0, len(s.points))
 	for _, p := range s.points {
-		out = append(out, p.Values[name])
+		out = append(out, p.Values[di])
 	}
 	return out
 }
 
 // WriteJSONL writes one JSON object per epoch: the meta key/values (run
-// identity etc.), the cycle, and every series value. encoding/json sorts
-// map keys, so the output is deterministic. Values are finite by
-// construction (zero-guarded ratios), which keeps the lines valid JSON.
+// identity etc.), the cycle, and every series value, with keys sorted so
+// the output is deterministic. The encoding is hand-rolled into one
+// reused buffer (see jsonl.go) and byte-identical to what encoding/json
+// produced for the equivalent map — the fuzz test in jsonl_test.go holds
+// it to that. Values are finite by construction (zero-guarded ratios),
+// which keeps the lines valid JSON.
 func (s *Sampler) WriteJSONL(w io.Writer, meta map[string]string) error {
 	if s == nil {
 		return nil
 	}
+	// Key order replicates encoding/json marshalling of the map the
+	// previous implementation built: all keys sorted; on collision the
+	// later map write won — series values over "cycle" over meta.
+	type field struct {
+		key string
+		src int // 0: meta, 1: cycle, 2: series (def index)
+		def int
+	}
+	fields := make([]field, 0, len(meta)+1+len(s.defs))
+	for k := range meta {
+		fields = append(fields, field{key: k, src: 0})
+	}
+	fields = append(fields, field{key: "cycle", src: 1})
+	for i := range s.defs {
+		fields = append(fields, field{key: s.defs[i].Name, src: 2, def: i})
+	}
+	sort.SliceStable(fields, func(i, j int) bool { return fields[i].key < fields[j].key })
+	// Deduplicate equal keys keeping the highest-precedence source.
+	out := fields[:0]
+	for _, f := range fields {
+		if n := len(out); n > 0 && out[n-1].key == f.key {
+			if f.src >= out[n-1].src {
+				out[n-1] = f
+			}
+			continue
+		}
+		out = append(out, f)
+	}
+	fields = out
+
+	var buf []byte
 	for _, p := range s.points {
-		line := make(map[string]any, len(p.Values)+len(meta)+1)
-		for k, v := range meta {
-			line[k] = v
+		buf = buf[:0]
+		buf = append(buf, '{')
+		for i, f := range fields {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendJSONString(buf, f.key)
+			buf = append(buf, ':')
+			switch f.src {
+			case 0:
+				buf = appendJSONString(buf, meta[f.key])
+			case 1:
+				buf = appendJSONUint(buf, p.Cycle)
+			case 2:
+				var err error
+				if buf, err = appendJSONFloat(buf, p.Values[f.def]); err != nil {
+					return fmt.Errorf("obs: marshal sample at cycle %d: %w", p.Cycle, err)
+				}
+			}
 		}
-		line["cycle"] = p.Cycle
-		for k, v := range p.Values {
-			line[k] = v
-		}
-		b, err := json.Marshal(line)
-		if err != nil {
-			return fmt.Errorf("obs: marshal sample at cycle %d: %w", p.Cycle, err)
-		}
-		if _, err := w.Write(append(b, '\n')); err != nil {
+		buf = append(buf, '}', '\n')
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}

@@ -116,12 +116,12 @@ func (p *MTHWP) Stats() MTHWPStats { return p.stats }
 // Register wires the per-table counters into the registry.
 func (p *MTHWP) Register(r *obs.Registry, l obs.Labels) {
 	st := &p.stats
-	r.Counter("mthwp.observations", l, func() uint64 { return st.Observations })
-	r.Counter("mthwp.pws_accesses", l, func() uint64 { return st.PWSAccesses })
-	r.Counter("mthwp.pws_hits", l, func() uint64 { return st.PWSHits })
-	r.Counter("mthwp.gs_hits", l, func() uint64 { return st.GSHits })
-	r.Counter("mthwp.ip_hits", l, func() uint64 { return st.IPHits })
-	r.Counter("mthwp.promotions", l, func() uint64 { return st.Promotions })
+	r.CounterU64("mthwp.observations", l, &st.Observations)
+	r.CounterU64("mthwp.pws_accesses", l, &st.PWSAccesses)
+	r.CounterU64("mthwp.pws_hits", l, &st.PWSHits)
+	r.CounterU64("mthwp.gs_hits", l, &st.GSHits)
+	r.CounterU64("mthwp.ip_hits", l, &st.IPHits)
+	r.CounterU64("mthwp.promotions", l, &st.Promotions)
 }
 
 // SetTrace enables stride-promotion events on tr under the given track

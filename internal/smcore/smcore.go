@@ -60,26 +60,6 @@ type Stats struct {
 	WarpsCompleted    uint64
 }
 
-type warpState struct {
-	active      bool
-	done        bool
-	gwid        int // global warp id
-	pc          int
-	iter        int
-	remTrips    int
-	pending     []uint16 // outstanding fills per register
-	outstanding int      // total outstanding fills
-	block       int      // resident-block slot this warp belongs to
-
-	// Memoized coalescing result for the instruction at (txPC, txIter),
-	// so a warp stalled on MRQ space does not redo the lane-dedup work
-	// every cycle it retries.
-	txs     []uint64
-	txPC    int
-	txIter  int
-	txValid bool
-}
-
 type blockState struct {
 	active    bool
 	remaining int // unfinished warps
@@ -92,7 +72,33 @@ type Core struct {
 	spec *workload.Spec
 	prog *kernel.Program
 
-	warps     []warpState
+	// Warp state lives in a struct-of-arrays layout, indexed by warp
+	// slot: the scheduler's bitmask scan and the fill path each touch
+	// one or two of these fields for many warps per event, so parallel
+	// flat slices keep those walks on contiguous memory instead of
+	// striding across fat per-warp structs.
+	numWarps  int
+	wActive   []bool
+	wDone     []bool
+	wGwid     []int32 // global warp id
+	wPC       []int32
+	wIter     []int32
+	wRemTrips []int32
+	wOutstand []int32 // total outstanding fills
+	wBlock    []int32 // resident-block slot the warp belongs to
+
+	// Flat scoreboard: pending fills per register, slot*numRegs+reg.
+	pending []uint16
+	numRegs int
+
+	// Memoized coalescing result for the instruction at (txPC, txIter),
+	// so a warp stalled on MRQ space does not redo the lane-dedup work
+	// every cycle it retries. txs backing arrays are reused per slot.
+	txs     [][]uint64
+	txPC    []int32
+	txIter  []int32
+	txValid []bool
+
 	blocks    []blockState
 	src       BlockSource
 	liveWarps int
@@ -183,12 +189,27 @@ func New(o Options) (*Core, error) {
 	}
 	wpb := o.Spec.WarpsPerBlock()
 	maxBlocks := o.Spec.MaxBlocksPerCore
+	numWarps := maxBlocks * wpb
 	c := &Core{
 		id:         o.ID,
 		cfg:        o.Config,
 		spec:       o.Spec,
 		prog:       prog,
-		warps:      make([]warpState, maxBlocks*wpb),
+		numWarps:   numWarps,
+		wActive:    make([]bool, numWarps),
+		wDone:      make([]bool, numWarps),
+		wGwid:      make([]int32, numWarps),
+		wPC:        make([]int32, numWarps),
+		wIter:      make([]int32, numWarps),
+		wRemTrips:  make([]int32, numWarps),
+		wOutstand:  make([]int32, numWarps),
+		wBlock:     make([]int32, numWarps),
+		pending:    make([]uint16, numWarps*prog.NumRegs),
+		numRegs:    prog.NumRegs,
+		txs:        make([][]uint64, numWarps),
+		txPC:       make([]int32, numWarps),
+		txIter:     make([]int32, numWarps),
+		txValid:    make([]bool, numWarps),
 		blocks:     make([]blockState, maxBlocks),
 		src:        o.Blocks,
 		MRQ:        mrq.New(o.Config.MRQSize),
@@ -200,7 +221,7 @@ func New(o Options) (*Core, error) {
 		nextPeriod: o.Config.ThrottlePeriod,
 		pool:       o.Pool,
 	}
-	words := (len(c.warps) + 63) / 64
+	words := (numWarps + 63) / 64
 	c.activeMask = make([]uint64, words)
 	c.issueMask = make([]uint64, words)
 	if o.Filter != nil {
@@ -209,14 +230,21 @@ func New(o Options) (*Core, error) {
 	if _, ok := o.HWP.(prefetch.FeedbackPrefetcher); ok || o.Throttle != nil {
 		c.periodic = true
 	}
-	for i := range c.warps {
-		c.warps[i].pending = make([]uint16, prog.NumRegs)
-	}
 	for b := range c.blocks {
 		c.tryLaunchBlock(b)
 	}
 	return c, nil
 }
+
+// cpiCounterNames pre-builds the per-bucket registry names once, so the
+// 14 cores' Observe calls don't re-concatenate them.
+var cpiCounterNames = func() [obs.NumBuckets]string {
+	var names [obs.NumBuckets]string
+	for b := obs.Bucket(0); b < obs.NumBuckets; b++ {
+		names[b] = "smcore.cpi_" + b.String()
+	}
+	return names
+}()
 
 // Stats returns a snapshot of the core's counters.
 func (c *Core) Stats() Stats { return c.stats }
@@ -233,31 +261,30 @@ func (c *Core) Observe(reg *obs.Registry, tr *obs.Tracer) {
 	c.trace = tr
 	l := obs.Labels{Core: c.id, Component: "smcore"}
 	st := &c.stats
-	reg.Counter("smcore.instructions", l, func() uint64 { return st.Instructions })
-	reg.Counter("smcore.prog_instructions", l, func() uint64 { return st.ProgInstructions })
-	reg.Counter("smcore.compute_instrs", l, func() uint64 { return st.ComputeInstrs })
-	reg.Counter("smcore.mem_instrs", l, func() uint64 { return st.MemInstrs })
-	reg.Counter("smcore.prefetch_instrs", l, func() uint64 { return st.PrefetchInstrs })
-	reg.Counter("smcore.demand_transactions", l, func() uint64 { return st.DemandTransactions })
-	reg.Counter("smcore.pfcache_hit_transactions", l, func() uint64 { return st.PFCacheHitTransactions })
-	reg.Counter("smcore.prefetches_generated", l, func() uint64 { return st.PrefetchesGenerated })
-	reg.Counter("smcore.prefetches_issued", l, func() uint64 { return st.PrefetchesIssued })
-	reg.Counter("smcore.prefetch_merged_mrq", l, func() uint64 { return st.PrefetchMergedMRQ })
-	reg.Counter("smcore.dropped_throttle", l, func() uint64 { return st.DroppedThrottle })
-	reg.Counter("smcore.dropped_filter", l, func() uint64 { return st.DroppedByFilter })
-	reg.Counter("smcore.dropped_in_cache", l, func() uint64 { return st.DroppedInCache })
-	reg.Counter("smcore.dropped_queue_full", l, func() uint64 { return st.DroppedQueueFull })
-	reg.Counter("smcore.late_prefetches", l, func() uint64 { return st.LatePrefetches })
-	reg.Counter("smcore.issue_stall_full_mrq", l, func() uint64 { return st.IssueStallFullMRQ })
-	reg.Counter("smcore.blocks_completed", l, func() uint64 { return st.BlocksCompleted })
-	reg.Counter("smcore.warps_completed", l, func() uint64 { return st.WarpsCompleted })
+	reg.CounterU64("smcore.instructions", l, &st.Instructions)
+	reg.CounterU64("smcore.prog_instructions", l, &st.ProgInstructions)
+	reg.CounterU64("smcore.compute_instrs", l, &st.ComputeInstrs)
+	reg.CounterU64("smcore.mem_instrs", l, &st.MemInstrs)
+	reg.CounterU64("smcore.prefetch_instrs", l, &st.PrefetchInstrs)
+	reg.CounterU64("smcore.demand_transactions", l, &st.DemandTransactions)
+	reg.CounterU64("smcore.pfcache_hit_transactions", l, &st.PFCacheHitTransactions)
+	reg.CounterU64("smcore.prefetches_generated", l, &st.PrefetchesGenerated)
+	reg.CounterU64("smcore.prefetches_issued", l, &st.PrefetchesIssued)
+	reg.CounterU64("smcore.prefetch_merged_mrq", l, &st.PrefetchMergedMRQ)
+	reg.CounterU64("smcore.dropped_throttle", l, &st.DroppedThrottle)
+	reg.CounterU64("smcore.dropped_filter", l, &st.DroppedByFilter)
+	reg.CounterU64("smcore.dropped_in_cache", l, &st.DroppedInCache)
+	reg.CounterU64("smcore.dropped_queue_full", l, &st.DroppedQueueFull)
+	reg.CounterU64("smcore.late_prefetches", l, &st.LatePrefetches)
+	reg.CounterU64("smcore.issue_stall_full_mrq", l, &st.IssueStallFullMRQ)
+	reg.CounterU64("smcore.blocks_completed", l, &st.BlocksCompleted)
+	reg.CounterU64("smcore.warps_completed", l, &st.WarpsCompleted)
 	reg.Histogram("smcore.demand_latency", l, func() stats.Histogram { return st.DemandLatency.Histogram })
 	reg.Gauge("smcore.live_warps", l, func() float64 { return float64(c.liveWarps) })
 	if c.cpi != nil {
 		cb := c.cpi
 		for b := obs.Bucket(0); b < obs.NumBuckets; b++ {
-			b := b
-			reg.Counter("smcore.cpi_"+b.String(), l, func() uint64 { return cb.Buckets[b] })
+			reg.CounterU64(cpiCounterNames[b], l, &cb.Buckets[b])
 		}
 	}
 
@@ -394,21 +421,18 @@ func (c *Core) tryLaunchBlock(b int) {
 	wpb := c.spec.WarpsPerBlock()
 	c.blocks[b] = blockState{active: true, remaining: wpb}
 	for i := 0; i < wpb; i++ {
-		w := &c.warps[b*wpb+i]
-		gwid := blockID*wpb + i
-		w.active = true
-		w.done = false
-		w.gwid = gwid
-		w.pc = 0
-		w.iter = 0
-		w.remTrips = c.prog.LoopTrips
-		w.outstanding = 0
-		w.block = b
-		for r := range w.pending {
-			w.pending[r] = 0
-		}
+		slot := b*wpb + i
+		c.wActive[slot] = true
+		c.wDone[slot] = false
+		c.wGwid[slot] = int32(blockID*wpb + i)
+		c.wPC[slot] = 0
+		c.wIter[slot] = 0
+		c.wRemTrips[slot] = int32(c.prog.LoopTrips)
+		c.wOutstand[slot] = 0
+		c.wBlock[slot] = int32(b)
+		clear(c.pending[slot*c.numRegs : (slot+1)*c.numRegs])
 		c.liveWarps++
-		c.activateWarp(b*wpb + i)
+		c.activateWarp(slot)
 	}
 }
 
@@ -480,14 +504,14 @@ func (c *Core) Fill(cycle uint64, r *memreq.Request) {
 		c.stats.DemandLatency.Add(cycle - entry.IssueCycle)
 	}
 	for _, w := range entry.Waiters {
-		ws := &c.warps[w.Warp]
-		if ws.pending[w.Reg] > 0 {
-			ws.pending[w.Reg]--
+		slot := int(w.Warp)
+		if p := &c.pending[slot*c.numRegs+int(w.Reg)]; *p > 0 {
+			*p--
 		}
-		if ws.outstanding > 0 {
-			ws.outstanding--
+		if c.wOutstand[slot] > 0 {
+			c.wOutstand[slot]--
 		}
-		c.maybeRetire(w.Warp)
+		c.maybeRetire(slot)
 	}
 	if entry.WasPrefetch {
 		if entry.DemandMerged {
@@ -549,12 +573,11 @@ func (c *Core) Diag() Diag {
 		MRQUnsent:      c.MRQ.SendQueueLen(),
 		PFCacheLines:   c.PFCache.Occupancy(),
 	}
-	for i := range c.warps {
-		w := &c.warps[i]
-		if !w.active {
+	for i := 0; i < c.numWarps; i++ {
+		if !c.wActive[i] {
 			continue
 		}
-		if w.done {
+		if c.wDone[i] {
 			d.DrainingWarps++
 			continue
 		}
@@ -585,16 +608,15 @@ func (c *Core) CheckInvariants(cycle uint64) error {
 	}
 	warpOut, regPending := 0, 0
 	active, issuable := 0, 0
-	for i := range c.warps {
-		w := &c.warps[i]
+	for i := 0; i < c.numWarps; i++ {
 		bit := uint64(1) << (uint(i) & 63)
 		abit := c.activeMask[i>>6]&bit != 0
 		ibit := c.issueMask[i>>6]&bit != 0
-		if abit != (w.active && !w.done) || (ibit && !abit) {
+		if abit != (c.wActive[i] && !c.wDone[i]) || (ibit && !abit) {
 			return &simerr.InvariantError{
 				Component: "smcore", Name: "warp-index", Cycle: cycle,
 				Detail: fmt.Sprintf("core %d warp %d: active=%v done=%v but activeMask=%v issueMask=%v",
-					c.id, i, w.active, w.done, abit, ibit),
+					c.id, i, c.wActive[i], c.wDone[i], abit, ibit),
 			}
 		}
 		if abit {
@@ -603,11 +625,11 @@ func (c *Core) CheckInvariants(cycle uint64) error {
 		if ibit {
 			issuable++
 		}
-		if !w.active {
+		if !c.wActive[i] {
 			continue
 		}
-		warpOut += w.outstanding
-		for _, p := range w.pending {
+		warpOut += int(c.wOutstand[i])
+		for _, p := range c.pending[i*c.numRegs : (i+1)*c.numRegs] {
 			regPending += int(p)
 		}
 	}
@@ -630,19 +652,19 @@ func (c *Core) CheckInvariants(cycle uint64) error {
 
 // maybeRetire finishes a warp whose program ended and whose loads drained.
 func (c *Core) maybeRetire(slot int) {
-	w := &c.warps[slot]
-	if !w.active || !w.done || w.outstanding != 0 {
+	if !c.wActive[slot] || !c.wDone[slot] || c.wOutstand[slot] != 0 {
 		return
 	}
-	w.active = false
+	c.wActive[slot] = false
 	c.liveWarps--
 	c.stats.WarpsCompleted++
-	b := &c.blocks[w.block]
+	blk := int(c.wBlock[slot])
+	b := &c.blocks[blk]
 	b.remaining--
 	if b.remaining == 0 {
 		b.active = false
 		c.stats.BlocksCompleted++
-		c.tryLaunchBlock(w.block)
+		c.tryLaunchBlock(blk)
 	}
 }
 
@@ -673,7 +695,7 @@ func (c *Core) Cycle(cycle uint64) error {
 	// resulting stagger between warps is what gives inter-thread
 	// prefetches their timeliness. The scan walks issueMask from rr with
 	// wraparound, in the same order as a full (rr+k)%n sweep.
-	issued, err := c.scanIssue(cycle, c.rr, len(c.warps))
+	issued, err := c.scanIssue(cycle, c.rr, c.numWarps)
 	if err != nil {
 		return err
 	}
@@ -710,13 +732,13 @@ func (c *Core) scanIssue(cycle uint64, from, to int) (bool, error) {
 		for word != 0 {
 			slot := wi<<6 + bits.TrailingZeros64(word)
 			word &= word - 1
-			issued, err := c.tryIssue(cycle, slot, &c.warps[slot])
+			issued, err := c.tryIssue(cycle, slot)
 			if err != nil {
 				return false, err
 			}
 			if issued {
 				if c.cfg.Scheduler == config.RoundRobin {
-					c.rr = (slot + 1) % len(c.warps)
+					c.rr = (slot + 1) % c.numWarps
 				} else {
 					c.rr = slot
 				}
@@ -761,16 +783,18 @@ func (c *Core) NextEvent(cycle uint64) uint64 {
 	return next
 }
 
-// tryIssue attempts to issue w's next instruction; it reports success.
-func (c *Core) tryIssue(cycle uint64, slot int, w *warpState) (bool, error) {
-	in := &c.prog.Instrs[w.pc]
+// tryIssue attempts to issue the slot's next instruction; it reports
+// success.
+func (c *Core) tryIssue(cycle uint64, slot int) (bool, error) {
+	in := &c.prog.Instrs[c.wPC[slot]]
 	// Scoreboard: sources must be ready.
-	if w.pending[in.Src1] > 0 || w.pending[in.Src2] > 0 {
+	sb := c.pending[slot*c.numRegs : (slot+1)*c.numRegs]
+	if sb[in.Src1] > 0 || sb[in.Src2] > 0 {
 		return false, nil
 	}
 	// A load destination still being filled (software pipelining WAW)
 	// also blocks.
-	if in.Op == kernel.OpLoad && w.pending[in.Dst] > 0 {
+	if in.Op == kernel.OpLoad && sb[in.Dst] > 0 {
 		return false, nil
 	}
 	switch in.Op {
@@ -786,7 +810,7 @@ func (c *Core) tryIssue(cycle uint64, slot int, w *warpState) (bool, error) {
 	case kernel.OpLoopBack:
 		c.issueOccupy(cycle, c.cfg.IssueCostALU)
 	case kernel.OpLoad, kernel.OpStore:
-		issued, err := c.issueMemory(cycle, slot, w, in)
+		issued, err := c.issueMemory(cycle, slot, in)
 		if err != nil {
 			return false, err
 		}
@@ -797,7 +821,7 @@ func (c *Core) tryIssue(cycle uint64, slot int, w *warpState) (bool, error) {
 		}
 		c.stats.MemInstrs++
 	case kernel.OpPrefetch:
-		c.issueSWPrefetch(cycle, w, in)
+		c.issueSWPrefetch(cycle, slot, in)
 		c.stats.PrefetchInstrs++
 	}
 	c.stats.Instructions++
@@ -805,15 +829,15 @@ func (c *Core) tryIssue(cycle uint64, slot int, w *warpState) (bool, error) {
 		c.stats.ProgInstructions++
 	}
 	// Advance control flow.
-	if in.Op == kernel.OpLoopBack && w.remTrips > 1 {
-		w.remTrips--
-		w.iter++
-		w.pc = in.Target
+	if in.Op == kernel.OpLoopBack && c.wRemTrips[slot] > 1 {
+		c.wRemTrips[slot]--
+		c.wIter[slot]++
+		c.wPC[slot] = int32(in.Target)
 	} else {
-		w.pc++
+		c.wPC[slot]++
 	}
-	if w.pc >= len(c.prog.Instrs) {
-		w.done = true
+	if int(c.wPC[slot]) >= len(c.prog.Instrs) {
+		c.wDone[slot] = true
 		c.warpDone(slot)
 		c.maybeRetire(slot)
 	}
@@ -830,22 +854,24 @@ func (c *Core) issueOccupy(cycle uint64, cost int) {
 	c.issueBusyUntil = cycle + uint64(cost)
 }
 
-// transactions returns the block addresses touched by in for warp w,
-// memoized across stalled retries of the same instruction.
-func (c *Core) transactions(w *warpState, in *kernel.Instr) []uint64 {
-	if w.txValid && w.txPC == w.pc && w.txIter == w.iter {
-		return w.txs
+// transactions returns the block addresses touched by in for the warp in
+// slot, memoized across stalled retries of the same instruction.
+func (c *Core) transactions(slot int, in *kernel.Instr) []uint64 {
+	pc, iter := c.wPC[slot], c.wIter[slot]
+	if c.txValid[slot] && c.txPC[slot] == pc && c.txIter[slot] == iter {
+		return c.txs[slot]
 	}
-	w.txs = in.Mem.Transactions(w.gwid, c.cfg.WarpSize, w.iter, c.cfg.BlockBytes, w.txs[:0])
-	w.txPC, w.txIter, w.txValid = w.pc, w.iter, true
-	return w.txs
+	c.txs[slot] = in.Mem.Transactions(int(c.wGwid[slot]), c.cfg.WarpSize, int(iter), c.cfg.BlockBytes, c.txs[slot][:0])
+	c.txPC[slot], c.txIter[slot], c.txValid[slot] = pc, iter, true
+	return c.txs[slot]
 }
 
 // issueMemory handles loads and stores; it reports false when the MRQ
 // cannot absorb the access (the warp retries later). A non-nil error is
 // an invariant violation.
-func (c *Core) issueMemory(cycle uint64, slot int, w *warpState, in *kernel.Instr) (bool, error) {
-	txs := c.transactions(w, in)
+func (c *Core) issueMemory(cycle uint64, slot int, in *kernel.Instr) (bool, error) {
+	txs := c.transactions(slot, in)
+	gwid, pc := int(c.wGwid[slot]), int(c.wPC[slot])
 	if in.Op == kernel.OpStore {
 		if c.perfectMem {
 			c.issueOccupy(cycle, c.cfg.IssueCostMem)
@@ -856,7 +882,7 @@ func (c *Core) issueMemory(cycle uint64, slot int, w *warpState, in *kernel.Inst
 		}
 		c.issueOccupy(cycle, c.cfg.IssueCostMem)
 		for _, addr := range txs {
-			c.MRQ.Add(c.pool.Get(addr, c.cfg.BlockBytes, memreq.Writeback, c.id, w.gwid, w.pc, cycle))
+			c.MRQ.Add(c.pool.Get(addr, c.cfg.BlockBytes, memreq.Writeback, c.id, gwid, pc, cycle))
 		}
 		return true, nil
 	}
@@ -898,15 +924,15 @@ func (c *Core) issueMemory(cycle uint64, slot int, w *warpState, in *kernel.Inst
 			}
 			continue
 		}
-		r := c.pool.Get(addr, c.cfg.BlockBytes, memreq.Demand, c.id, w.gwid, w.pc, cycle)
-		r.Waiters = append(r.Waiters, memreq.Waiter{Warp: slot, Reg: uint8(in.Dst)})
+		r := c.pool.Get(addr, c.cfg.BlockBytes, memreq.Demand, c.id, gwid, pc, cycle)
+		r.Waiters = append(r.Waiters, memreq.Waiter{Warp: int32(slot), Reg: uint8(in.Dst)})
 		switch c.MRQ.Add(r) {
 		case mrq.Accepted:
-			w.pending[in.Dst]++
-			w.outstanding++
+			c.pending[slot*c.numRegs+int(in.Dst)]++
+			c.wOutstand[slot]++
 		case mrq.Merged:
-			w.pending[in.Dst]++
-			w.outstanding++
+			c.pending[slot*c.numRegs+int(in.Dst)]++
+			c.wOutstand[slot]++
 			// MergeDemand copied the waiter into the surviving entry; this
 			// request is dead and can be recycled.
 			c.pool.Put(r)
@@ -922,14 +948,14 @@ func (c *Core) issueMemory(cycle uint64, slot int, w *warpState, in *kernel.Inst
 	}
 	// Train the hardware prefetcher on the warp access.
 	if c.HWP != nil {
-		c.trainHWP(cycle, w, txs)
+		c.trainHWP(cycle, slot, txs)
 	}
 	return true, nil
 }
 
 // trainHWP presents the access to the hardware prefetcher and issues the
 // surviving candidates.
-func (c *Core) trainHWP(cycle uint64, w *warpState, txs []uint64) {
+func (c *Core) trainHWP(cycle uint64, slot int, txs []uint64) {
 	base := txs[0]
 	for _, a := range txs[1:] {
 		if a < base {
@@ -941,27 +967,27 @@ func (c *Core) trainHWP(cycle uint64, w *warpState, txs []uint64) {
 		c.footBuf = append(c.footBuf, a-base)
 	}
 	c.candBuf = c.HWP.Observe(prefetch.Train{
-		PC:        w.pc,
-		WarpID:    w.gwid,
+		PC:        int(c.wPC[slot]),
+		WarpID:    int(c.wGwid[slot]),
 		Cycle:     cycle,
 		Addr:      base,
 		Footprint: c.footBuf,
 	}, c.candBuf[:0])
-	c.issuePrefetches(cycle, w.gwid, w.pc, c.candBuf)
+	c.issuePrefetches(cycle, int(c.wGwid[slot]), int(c.wPC[slot]), c.candBuf)
 }
 
 // issueSWPrefetch executes a software prefetch instruction. The source
 // tag distinguishes the stride-style and inter-warp (IP-style) software
 // schemes so attribution can separate their outcomes.
-func (c *Core) issueSWPrefetch(cycle uint64, w *warpState, in *kernel.Instr) {
+func (c *Core) issueSWPrefetch(cycle uint64, slot int, in *kernel.Instr) {
 	c.issueOccupy(cycle, c.cfg.IssueCostMem)
 	if c.perfectMem {
 		return
 	}
-	txs := c.transactions(w, in)
+	txs := c.transactions(slot, in)
 	src := swpref.SourceOf(in.Mem)
 	for _, addr := range txs {
-		c.issuePrefetch(cycle, w.gwid, w.pc, src, addr)
+		c.issuePrefetch(cycle, int(c.wGwid[slot]), int(c.wPC[slot]), src, addr)
 	}
 }
 

@@ -96,8 +96,8 @@ func (e *Engine) NoPrefetchPeriods() uint64 { return e.noPrefetchPeriods }
 // sampler and reads zero-by-absence when throttling is disabled.
 func (e *Engine) Register(r *obs.Registry, l obs.Labels) {
 	r.Gauge("throttle.degree", l, func() float64 { return float64(e.degree) })
-	r.Counter("throttle.periods", l, func() uint64 { return e.periods })
-	r.Counter("throttle.no_prefetch_periods", l, func() uint64 { return e.noPrefetchPeriods })
+	r.CounterU64("throttle.periods", l, &e.periods)
+	r.CounterU64("throttle.no_prefetch_periods", l, &e.noPrefetchPeriods)
 }
 
 // Allow decides the fate of one candidate prefetch under the current

@@ -8,3 +8,8 @@ go build ./...
 go test -race ./...
 go test -timeout 10m -run 'Chaos|Stalled|Dropped|Corrupt|CleanRun|Poisoned|CrashDump|Taxonomy|Store|Torn|Quarantine|Resume|Flake|Retry|Drain|RunTimeout|Sanitize' \
 	./internal/faults/... ./internal/harness/... ./internal/store/...
+# Allocation-budget gate: one iteration per workload, compared against
+# the committed per-benchmark allocs/op budgets in ci/alloc_budget.json
+# (same as `make bench-alloc BENCHTIME=1x`, inlined for make-less hosts).
+go test -bench='CoreAlloc' -benchmem -run='^$' -benchtime=1x . > /tmp/bench_alloc.txt
+go run ./cmd/benchjson -budget ci/alloc_budget.json < /tmp/bench_alloc.txt > BENCH_alloc.json
