@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race chaos bench bench-parallel bench-core bench-shards bench-alloc pfreport cpistack
+.PHONY: check build test vet race chaos bench bench-parallel bench-core bench-shards bench-alloc pfreport cpistack spans
 
 # The full gate used before committing: vet, build, race-enabled tests
 # (including the scaled-down parallel-harness sweep; see harness_test.go),
@@ -53,6 +53,15 @@ pfreport:
 cpistack:
 	$(GO) run ./cmd/mtpref -waves 1 -cpistack cpistack.jsonl run gstable > /dev/null
 	$(GO) run ./cmd/cpistat cpistack.jsonl
+
+# Span-tracing demo: run the GS-table sweep with request span sampling
+# enabled, then render the per-source latency waterfall (where each
+# sampled request's end-to-end cycles went: MRQ, NoC, DRAM queueing,
+# DRAM service, response NoC) with cmd/spanstat. Leaves the raw JSONL in
+# spans.jsonl for further post-processing (e.g. spanstat -byrun).
+spans:
+	$(GO) run ./cmd/mtpref -waves 1 -spans spans.jsonl run gstable > /dev/null
+	$(GO) run ./cmd/spanstat spans.jsonl
 
 # Records the parallel harness's wall-clock scaling: per-worker-count
 # sweep times plus the headline speedup-j4 metric.

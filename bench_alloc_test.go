@@ -18,18 +18,18 @@ import (
 // requests and DRAM entries, and arena-carved observability epochs.
 
 // benchCoreAlloc times complete simulations of one benchmark with the
-// observability sinks attached or detached, reporting simulation
-// throughput alongside the -benchmem allocation columns the budget gate
-// reads.
-func benchCoreAlloc(b *testing.B, name string, withObs bool) {
+// observability sinks configured per cfg (nil detaches them entirely),
+// reporting simulation throughput alongside the -benchmem allocation
+// columns the budget gate reads.
+func benchCoreAlloc(b *testing.B, name string, cfg *obs.Config) {
 	spec := coreBenchSpec(b, name)
 	b.ReportAllocs()
 	var cycles uint64
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
 		o := core.Options{Workload: spec}
-		if withObs {
-			o.Obs = obs.New(obs.Config{CPIStack: true, CPIEpoch: 1 << 40})
+		if cfg != nil {
+			o.Obs = obs.New(*cfg)
 		}
 		sim, err := core.New(o)
 		if err != nil {
@@ -50,11 +50,19 @@ func benchCoreAlloc(b *testing.B, name string, withObs bool) {
 // (stride, merge-path, uncoalesced), with and without observability, so
 // the budget file pins the allocation floor of each traffic shape.
 func BenchmarkCoreAlloc(b *testing.B) {
+	obsCfg := obs.Config{CPIStack: true, CPIEpoch: 1 << 40}
 	for _, name := range []string{"black", "stream", "bfs"} {
 		name := name
-		b.Run(name+"/obs", func(b *testing.B) { benchCoreAlloc(b, name, true) })
-		b.Run(name+"/noobs", func(b *testing.B) { benchCoreAlloc(b, name, false) })
+		b.Run(name+"/obs", func(b *testing.B) { benchCoreAlloc(b, name, &obsCfg) })
+		b.Run(name+"/noobs", func(b *testing.B) { benchCoreAlloc(b, name, nil) })
 	}
+	// spansoff pins span tracing's zero-cost contract in the allocator
+	// dimension: an attached observer with Spans explicitly off shares
+	// the plain obs budget, even though every request-path stamp site now
+	// runs its nil-check. (Spans-on is deliberately unbudgeted — sampled
+	// span records allocate by design.)
+	spansOff := obs.Config{CPIStack: true, CPIEpoch: 1 << 40, Spans: false}
+	b.Run("black/spansoff", func(b *testing.B) { benchCoreAlloc(b, "black", &spansOff) })
 }
 
 // measureRun runs one complete simulation of spec with obs detached and

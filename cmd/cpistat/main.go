@@ -21,17 +21,15 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"os"
 	"regexp"
 	"sort"
 
-	"mtprefetch/internal/jsonl"
 	"mtprefetch/internal/obs"
+	"mtprefetch/internal/statcli"
 )
 
 // record mirrors the per-core "cpistack" lines of the obs JSONL schema;
@@ -85,41 +83,32 @@ func newAggregate() *aggregate {
 // read consumes one JSONL stream, keeping runs matched by filter (nil
 // keeps all).
 func (a *aggregate) read(r io.Reader, filter *regexp.Regexp) error {
-	sc := jsonl.NewReader(r)
-	for {
-		line, err := sc.Line()
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			return err
-		}
-		if len(line) == 0 {
-			continue
-		}
-		var rec record
-		if err := json.Unmarshal(line, &rec); err != nil {
-			return fmt.Errorf("bad JSONL line: %w", err)
-		}
-		if rec.Record != "cpistack" {
-			continue
-		}
-		if filter != nil && !filter.MatchString(rec.Run) {
-			continue
-		}
-		ra := a.runs[rec.Run]
-		if ra == nil {
-			ra = &runAgg{}
-			a.runs[rec.Run] = ra
-		}
-		for len(ra.cores) <= rec.Core {
-			ra.cores = append(ra.cores, coreRow{})
-		}
-		for b, v := range rec.buckets() {
-			ra.cores[rec.Core].buckets[b] += v
-			ra.totals[b] += v
-		}
+	return statcli.Read(r, filter, a.line)
+}
+
+// line aggregates one run-matching JSONL line; everything but the
+// per-core "cpistack" lines is skipped.
+func (a *aggregate) line(p statcli.Probe, line []byte) error {
+	if p.Record != "cpistack" {
+		return nil
 	}
+	var rec record
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return fmt.Errorf("bad JSONL line: %w", err)
+	}
+	ra := a.runs[rec.Run]
+	if ra == nil {
+		ra = &runAgg{}
+		a.runs[rec.Run] = ra
+	}
+	for len(ra.cores) <= rec.Core {
+		ra.cores = append(ra.cores, coreRow{})
+	}
+	for b, v := range rec.buckets() {
+		ra.cores[rec.Core].buckets[b] += v
+		ra.totals[b] += v
+	}
+	return nil
 }
 
 // empty reports whether the input contained no cycle-accounting records
@@ -225,69 +214,26 @@ func (a *aggregate) writeByCore(w io.Writer) error {
 }
 
 func main() {
-	fs := flag.NewFlagSet("cpistat", flag.ExitOnError)
-	runPat := fs.String("run", "", "only aggregate runs whose key matches this regexp")
-	byCore := fs.Bool("bycore", false, "additionally print raw per-core bucket counts")
-	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cpistat [-run REGEX] [-bycore] [FILE...]\n")
-		os.Exit(2)
-	}
-	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
-
-	var filter *regexp.Regexp
-	if *runPat != "" {
-		re, err := regexp.Compile(*runPat)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cpistat:", err)
-			os.Exit(2)
-		}
-		filter = re
-	}
-
+	var byCore *bool
 	agg := newAggregate()
-	files := fs.Args()
-	if len(files) == 0 {
-		if err := agg.read(os.Stdin, filter); err != nil {
-			fmt.Fprintln(os.Stderr, "cpistat: stdin:", err)
-			os.Exit(1)
-		}
-	}
-	for _, path := range files {
-		f, err := os.Open(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cpistat:", err)
-			os.Exit(1)
-		}
-		err = agg.read(f, filter)
-		f.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cpistat: %s: %v\n", path, err)
-			os.Exit(1)
-		}
-	}
-
-	if agg.empty() {
-		msg := "cpistat: no cpistack records in input (was the run started with -cpistack?)"
-		if filter != nil {
-			msg = fmt.Sprintf("cpistat: no cpistack records match -run %q", *runPat)
-		}
-		fmt.Fprintln(os.Stderr, msg)
-		os.Exit(1)
-	}
-
-	out := bufio.NewWriter(os.Stdout)
-	if err := agg.writeSummary(out); err != nil {
-		fmt.Fprintln(os.Stderr, "cpistat:", err)
-		os.Exit(1)
-	}
-	if *byCore {
-		if err := agg.writeByCore(out); err != nil {
-			fmt.Fprintln(os.Stderr, "cpistat:", err)
-			os.Exit(1)
-		}
-	}
-	if err := out.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, "cpistat:", err)
-		os.Exit(1)
-	}
+	statcli.Main(statcli.Tool{
+		Name:      "cpistat",
+		Usage:     "usage: cpistat [-run REGEX] [-bycore] [FILE...]\n",
+		EmptyWhat: "cpistack records",
+		EmptyFlag: "-cpistack",
+		Flags: func(fs *flag.FlagSet) {
+			byCore = fs.Bool("bycore", false, "additionally print raw per-core bucket counts")
+		},
+		Line:  agg.line,
+		Empty: agg.empty,
+		Render: func(w io.Writer) error {
+			if err := agg.writeSummary(w); err != nil {
+				return err
+			}
+			if *byCore {
+				return agg.writeByCore(w)
+			}
+			return nil
+		},
+	})
 }

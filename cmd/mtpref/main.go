@@ -27,6 +27,14 @@
 //	-cpistack FILE  write per-run CPI stacks (cycle accounting: where every
 //	                core-cycle went) and latency-tolerance snapshots as
 //	                JSONL; post-process with cmd/cpistat
+//	-spans FILE     write request-level span records (a deterministic sample
+//	                of memory requests with per-stage latency decomposition:
+//	                MRQ wait, NoC transit, DRAM queueing and service) as
+//	                JSONL; post-process with cmd/spanstat. With -trace, the
+//	                trace additionally carries one flow arc per sampled fill
+//	-span-every N   span sampling divisor: one in N eligible requests is
+//	                sampled (default 32); sampling is deterministic and
+//	                independent of -j, -shards, and -noskip
 //	-http ADDR      serve live sweep introspection on ADDR (e.g. :6060):
 //	                "/" per-run progress JSON, "/metrics" Prometheus text,
 //	                "/healthz" run-state JSON, "/tolerance" live per-core
@@ -83,7 +91,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: mtpref [-waves N] [-full] [-j N] [-shards N] [-csv DIR] [-metrics FILE] [-trace FILE] [-pfreport FILE] [-cpistack FILE] [-http ADDR] [-http-snapshots N] [-sample N] [-crashdir DIR] [-noskip] [-store DIR] [-run-timeout D] [-retries N] [-cpuprofile FILE] [-memprofile FILE] {list | run <id>... | all}\n")
+	fmt.Fprintf(os.Stderr, "usage: mtpref [-waves N] [-full] [-j N] [-shards N] [-csv DIR] [-metrics FILE] [-trace FILE] [-pfreport FILE] [-cpistack FILE] [-spans FILE] [-span-every N] [-http ADDR] [-http-snapshots N] [-sample N] [-crashdir DIR] [-noskip] [-store DIR] [-run-timeout D] [-retries N] [-cpuprofile FILE] [-memprofile FILE] {list | run <id>... | all}\n")
 	os.Exit(2)
 }
 
@@ -156,6 +164,8 @@ type cliFlags struct {
 	tracePath   string
 	pfPath      string
 	cpiPath     string
+	spanPath    string
+	spanEvery   uint64
 	httpAddr    string
 	httpSnaps   int
 	sample      uint64
@@ -181,6 +191,8 @@ func defineFlags(fs *flag.FlagSet) *cliFlags {
 	fs.StringVar(&c.tracePath, "trace", "", "Chrome trace-event JSON file")
 	fs.StringVar(&c.pfPath, "pfreport", "", "JSONL file for per-run prefetch attribution (see cmd/pfstat)")
 	fs.StringVar(&c.cpiPath, "cpistack", "", "JSONL file for per-run CPI stacks and latency tolerance (see cmd/cpistat)")
+	fs.StringVar(&c.spanPath, "spans", "", "JSONL file for per-run request span records (see cmd/spanstat)")
+	fs.Uint64Var(&c.spanEvery, "span-every", obs.DefaultSpanEvery, "span sampling divisor: one in N eligible requests is sampled")
 	fs.StringVar(&c.httpAddr, "http", "", "address for the live-introspection debug server (e.g. :6060)")
 	fs.IntVar(&c.httpSnaps, "http-snapshots", harness.DefaultSnapshotKeep, "finished-run metrics snapshots kept on the debug server")
 	fs.Uint64Var(&c.sample, "sample", 10_000, "epoch length in cycles for -metrics sampling")
@@ -285,7 +297,8 @@ func main() {
 	tf, tw := newOutFile(cli.tracePath)
 	pf, pw := newOutFile(cli.pfPath)
 	cf, cw := newOutFile(cli.cpiPath)
-	sink, err := obs.NewSink(mw, tw, pw, cw, obs.Config{SampleEvery: cli.sample})
+	sf, sw := newOutFile(cli.spanPath)
+	sink, err := obs.NewSink(mw, tw, pw, cw, sw, obs.Config{SampleEvery: cli.sample, SpanEvery: cli.spanEvery})
 	if err != nil {
 		fatal(err)
 	}
@@ -351,6 +364,7 @@ func main() {
 	tf.close()
 	pf.close()
 	cf.close()
+	sf.close()
 	stopProfiles()
 
 	// A drain outranks the degraded exit: the aborted runs render as ERR

@@ -22,7 +22,6 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,9 +30,9 @@ import (
 	"regexp"
 	"sort"
 
-	"mtprefetch/internal/jsonl"
 	"mtprefetch/internal/memreq"
 	"mtprefetch/internal/obs"
+	"mtprefetch/internal/statcli"
 	"mtprefetch/internal/stats"
 )
 
@@ -86,34 +85,29 @@ func newAggregate() *aggregate {
 // read consumes one JSONL stream, keeping runs matched by filter (nil
 // keeps all).
 func (a *aggregate) read(r io.Reader, filter *regexp.Regexp) error {
-	sc := jsonl.NewReader(r)
-	for {
-		line, err := sc.Line()
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			return err
-		}
-		if len(line) == 0 {
-			continue
-		}
+	return statcli.Read(r, filter, a.line)
+}
+
+// line aggregates one run-matching JSONL line; unknown record types are
+// skipped, so pfstat also accepts a mixed stream.
+func (a *aggregate) line(p statcli.Probe, line []byte) error {
+	switch p.Record {
+	case "pfreport":
 		var rec record
 		if err := json.Unmarshal(line, &rec); err != nil {
 			return fmt.Errorf("bad JSONL line: %w", err)
 		}
-		if filter != nil && !filter.MatchString(rec.Run) {
-			continue
+		a.addBucket(&rec)
+	case "pfsummary":
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("bad JSONL line: %w", err)
 		}
-		switch rec.Record {
-		case "pfreport":
-			a.addBucket(&rec)
-		case "pfsummary":
-			a.runs[rec.Run] = true
-			a.demand += rec.DemandTransactions
-			a.rep.AddDemandTransactions(rec.DemandTransactions)
-		}
+		a.runs[rec.Run] = true
+		a.demand += rec.DemandTransactions
+		a.rep.AddDemandTransactions(rec.DemandTransactions)
 	}
+	return nil
 }
 
 func (a *aggregate) addBucket(rec *record) {
@@ -222,70 +216,27 @@ func mean(sum, n uint64) string {
 }
 
 func main() {
-	fs := flag.NewFlagSet("pfstat", flag.ExitOnError)
-	runPat := fs.String("run", "", "only aggregate runs whose key matches this regexp")
-	byPC := fs.Bool("bypc", false, "additionally print the per-(source, PC) breakdown")
-	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pfstat [-run REGEX] [-bypc] [FILE...]\n")
-		os.Exit(2)
-	}
-	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
-
-	var filter *regexp.Regexp
-	if *runPat != "" {
-		re, err := regexp.Compile(*runPat)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pfstat:", err)
-			os.Exit(2)
-		}
-		filter = re
-	}
-
+	var byPC *bool
 	agg := newAggregate()
-	files := fs.Args()
-	if len(files) == 0 {
-		if err := agg.read(os.Stdin, filter); err != nil {
-			fmt.Fprintln(os.Stderr, "pfstat: stdin:", err)
-			os.Exit(1)
-		}
-	}
-	for _, path := range files {
-		f, err := os.Open(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pfstat:", err)
-			os.Exit(1)
-		}
-		err = agg.read(f, filter)
-		f.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pfstat: %s: %v\n", path, err)
-			os.Exit(1)
-		}
-	}
-
-	if agg.empty() {
-		msg := "pfstat: no pfreport/pfsummary records in input (was the run started with -pfreport?)"
-		if filter != nil {
-			msg = fmt.Sprintf("pfstat: no pfreport/pfsummary records match -run %q", *runPat)
-		}
-		fmt.Fprintln(os.Stderr, msg)
-		os.Exit(1)
-	}
-
-	out := bufio.NewWriter(os.Stdout)
-	if err := agg.writeSummary(out); err != nil {
-		fmt.Fprintln(os.Stderr, "pfstat:", err)
-		os.Exit(1)
-	}
-	if *byPC {
-		fmt.Fprintln(out)
-		if err := agg.rep.WriteTable(out); err != nil {
-			fmt.Fprintln(os.Stderr, "pfstat:", err)
-			os.Exit(1)
-		}
-	}
-	if err := out.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, "pfstat:", err)
-		os.Exit(1)
-	}
+	statcli.Main(statcli.Tool{
+		Name:      "pfstat",
+		Usage:     "usage: pfstat [-run REGEX] [-bypc] [FILE...]\n",
+		EmptyWhat: "pfreport/pfsummary records",
+		EmptyFlag: "-pfreport",
+		Flags: func(fs *flag.FlagSet) {
+			byPC = fs.Bool("bypc", false, "additionally print the per-(source, PC) breakdown")
+		},
+		Line:  agg.line,
+		Empty: agg.empty,
+		Render: func(w io.Writer) error {
+			if err := agg.writeSummary(w); err != nil {
+				return err
+			}
+			if *byPC {
+				fmt.Fprintln(w)
+				return agg.rep.WriteTable(w)
+			}
+			return nil
+		},
+	})
 }

@@ -208,15 +208,17 @@ type Simulator struct {
 	skipped uint64      // cycles never visited
 
 	// Intra-run core sharding (see shard.go).
-	shards    int             // effective shard count (1: serial stepping)
-	shardPool *shardPool      // non-nil once Run starts with shards > 1
-	corePools []*memreq.Pool  // per-core free-lists when sharded (else nil)
-	pfShards  []*obs.PFReport // per-core attribution shards when sharded (else nil)
+	shards     int             // effective shard count (1: serial stepping)
+	shardPool  *shardPool      // non-nil once Run starts with shards > 1
+	corePools  []*memreq.Pool  // per-core free-lists when sharded (else nil)
+	pfShards   []*obs.PFReport // per-core attribution shards when sharded (else nil)
+	spanShards []*obs.SpanSet  // per-core span shards when sharded (else nil)
 
 	reg     *obs.Registry // always non-nil; end-of-run aggregation reads it
 	sampler *obs.Sampler  // nil unless Options.Obs enabled sampling
 	pfrep   *obs.PFReport // nil unless Options.Obs enabled attribution
 	cpi     *obs.CPIStack // nil unless Options.Obs enabled cycle accounting
+	spans   *obs.SpanSet  // nil unless Options.Obs enabled span tracing
 	tracer  *obs.Tracer   // nil unless Options.Obs enabled tracing
 
 	tolBuf []obs.Tolerance // scratch for epoch tolerance snapshots
@@ -435,6 +437,7 @@ func New(o Options) (*Simulator, error) {
 		tracer = o.Obs.Tracer
 		s.pfrep = o.Obs.PF
 		s.cpi = o.Obs.CPI
+		s.spans = o.Obs.Spans
 	}
 	s.reg = reg
 	s.tracer = tracer
@@ -446,14 +449,25 @@ func New(o Options) (*Simulator, error) {
 			s.pfShards[i] = obs.NewPFReport()
 		}
 	}
+	if s.spans != nil && s.shards > 1 {
+		// Span starts and MRQ-level terminals are recorded from inside the
+		// stepping phase, so each core gets a private shard sharing the
+		// run's sampling divisor; collect merges them in core order.
+		s.spanShards = make([]*obs.SpanSet, len(s.cores))
+		for i := range s.spanShards {
+			s.spanShards[i] = s.spans.NewShard()
+		}
+	}
 	for i, c := range s.cores {
 		// Cycle accounting attaches before Observe so the per-bucket
 		// registry counters are registered.
 		c.AttachCPI(s.cpi.Core(i))
 		c.Observe(reg, tracer)
 		c.AttachPFReport(s.corePF(i))
+		c.AttachSpans(s.coreSpans(i))
 	}
 	s.mem.Register(reg, obs.Labels{Core: obs.CoreGlobal, Component: "dram"})
+	s.net.Register(reg, obs.Labels{Core: obs.CoreGlobal, Component: "noc"})
 	reg.Counter("core.cycles_skipped", obs.Labels{Core: obs.CoreGlobal, Component: "core"},
 		func() uint64 { return s.skipped })
 	s.sampler.Define(DefaultSeries()...)
@@ -476,6 +490,15 @@ func (s *Simulator) corePF(i int) *obs.PFReport {
 		return s.pfShards[i]
 	}
 	return s.pfrep
+}
+
+// coreSpans returns the span set core i records into: the run's set
+// directly in serial runs, the core's private shard otherwise.
+func (s *Simulator) coreSpans(i int) *obs.SpanSet {
+	if s.spanShards != nil {
+		return s.spanShards[i]
+	}
+	return s.spans
 }
 
 // putResponse recycles one delivered response into the pool its core
@@ -519,13 +542,17 @@ func (s *Simulator) Run() (*Result, error) {
 		// the fault injector).
 		respBuf = s.net.ArrivedResponses(cyc, respBuf[:0])
 		for _, r := range respBuf {
+			r.StampSpan(memreq.SpanNoCRespDeliver, cyc)
 			if s.inj != nil {
 				switch s.inj.OnResponse(cyc, r) {
 				case DropResponse:
 					// Deliberately leaked: the MRQ still tracks r, so it
-					// must not be recycled.
+					// must not be recycled. A sampled span still terminates
+					// here so conservation holds under fault injection.
+					s.coreSpans(r.CoreID).Finish(r, cyc, memreq.TermDropped)
 					continue
 				case DropCompletion:
+					s.coreSpans(r.CoreID).Finish(r, cyc, memreq.TermDropped)
 					s.cores[r.CoreID].DropFill(r)
 					continue
 				}
@@ -549,6 +576,10 @@ func (s *Simulator) Run() (*Result, error) {
 		}
 		reqBuf = s.net.ArrivedRequests(cyc, reqBuf[:0])
 		for _, r := range reqBuf {
+			// Delivery is stamped here, once, even when DRAM backpressure
+			// parks the request in pending — retries are queueing time, not
+			// network time, and land in the span's dram_queue stage.
+			r.StampSpan(memreq.SpanNoCReqDeliver, cyc)
 			if !s.mem.Enqueue(cyc, r) {
 				s.pending = append(s.pending, r)
 			}
@@ -557,6 +588,7 @@ func (s *Simulator) Run() (*Result, error) {
 		// 3. DRAM advances; completions head back through the network.
 		respBuf = s.mem.Step(cyc, respBuf[:0])
 		for _, r := range respBuf {
+			r.StampSpan(memreq.SpanNoCRespInject, cyc)
 			s.net.InjectResponse(cyc, r)
 		}
 
@@ -630,6 +662,9 @@ func (s *Simulator) Run() (*Result, error) {
 			if err := s.checkCPIConservation(s.cycle + 1); err != nil {
 				return nil, err
 			}
+			if err := s.checkSpanConservation(s.cycle, true); err != nil {
+				return nil, err
+			}
 			return res, nil
 		}
 
@@ -665,6 +700,9 @@ func (s *Simulator) Run() (*Result, error) {
 		if err := s.checkCPIConservation(s.cycle); err != nil {
 			return nil, err
 		}
+		if err := s.checkSpanConservation(s.cycle, true); err != nil {
+			return nil, err
+		}
 		return res, nil
 	}
 	return nil, fmt.Errorf("core: %s did not finish within %d cycles",
@@ -696,6 +734,11 @@ func (s *Simulator) inject(cyc uint64) {
 		if !s.net.TryInjectRequest(cyc, r) {
 			break
 		}
+		// The MRQ hands the request to the network in the same visited
+		// cycle, so dequeue and inject coincide; writebacks are never
+		// sampled and stamp as no-ops.
+		r.StampSpan(memreq.SpanMRQDequeue, cyc)
+		r.StampSpan(memreq.SpanNoCReqInject, cyc)
 		c.PopSend()
 		budget--
 		idle = 0
@@ -781,6 +824,10 @@ func (s *Simulator) PFReport() *obs.PFReport { return s.pfrep }
 // accounting was not enabled via Options.Obs.
 func (s *Simulator) CPIStack() *obs.CPIStack { return s.cpi }
 
+// Spans exposes the run's span aggregation, or nil when span tracing was
+// not enabled via Options.Obs.
+func (s *Simulator) Spans() *obs.SpanSet { return s.spans }
+
 // tolerances snapshots every core's latency-tolerance signals into the
 // reusable scratch buffer (CPIStack.CloseEpoch copies what it keeps).
 func (s *Simulator) tolerances(cyc uint64) []obs.Tolerance {
@@ -799,6 +846,21 @@ func (s *Simulator) checkCPIConservation(executed uint64) error {
 		return nil
 	}
 	if ie := s.cpi.CheckConservation(s.cycle, executed); ie != nil {
+		return ie
+	}
+	return nil
+}
+
+// checkSpanConservation verifies (Options.Checks only), after collect has
+// folded the per-core shards, that every sampled request reached exactly
+// one terminal and every recorded span was well-formed. drained marks a
+// fully drained machine, where started must equal finished; both Run
+// exits require done(), so they always pass true.
+func (s *Simulator) checkSpanConservation(cycle uint64, drained bool) error {
+	if s.spans == nil || !s.opts.Checks {
+		return nil
+	}
+	if ie := s.spans.CheckConservation(cycle, drained); ie != nil {
 		return ie
 	}
 	return nil
@@ -836,6 +898,13 @@ func (s *Simulator) collect() *Result {
 			s.pfrep.MergeFrom(sh)
 		}
 		s.pfrep.SetDemandTransactions(s.reg.Sum("smcore.demand_transactions"))
+	}
+	if s.spans != nil {
+		// Fold per-core span shards in core order; the order is invisible
+		// because records sort by ID and histograms are additive.
+		for _, sh := range s.spanShards {
+			s.spans.MergeFrom(sh)
+		}
 	}
 	reg := s.reg
 	r := &Result{Benchmark: s.spec.Name, Cycles: s.cycle}

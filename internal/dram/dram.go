@@ -10,6 +10,8 @@
 package dram
 
 import (
+	"fmt"
+
 	"mtprefetch/internal/addrmap"
 	"mtprefetch/internal/cache"
 	"mtprefetch/internal/memreq"
@@ -200,6 +202,14 @@ func (m *Memory) Register(r *obs.Registry, l obs.Labels) {
 		}
 		return float64(n)
 	})
+	// Per-channel unscheduled backlog: the live backpressure signal a
+	// latency waterfall's dram_queue stage points at.
+	for i := range m.chans {
+		ch := m.chans[i]
+		r.Gauge(fmt.Sprintf("dram.ch%d_queued", i), l, func() float64 {
+			return float64(ch.queue.Len())
+		})
+	}
 }
 
 // ChannelOf maps a block address to its channel (block-interleaved).
@@ -228,14 +238,22 @@ func (m *Memory) Enqueue(cycle uint64, r *memreq.Request) bool {
 	ch := m.chans[m.ChannelOf(r.Addr)]
 	if r.Kind != memreq.Writeback {
 		if e, ok := ch.reads.Get(r.Addr); ok {
+			// The rider arrives but is never scheduled itself: its data
+			// comes with the carrying entry, so its span skips the
+			// scheduler and bank sites.
+			r.StampSpan(memreq.SpanDRAMArrive, cycle)
+			r.SpanFlag(memreq.FlagDRAMMerged)
 			m.mergeInto(e, r)
 			return true
 		}
 	}
 	if ch.queue.Len() >= m.cfg.QueueSize {
+		// No stamp on a reject: the request retries from the simulator's
+		// pending list and arrives for real when a slot frees.
 		m.stats.Rejects++
 		return false
 	}
+	r.StampSpan(memreq.SpanDRAMArrive, cycle)
 	b, row := m.bankRow(r.Addr)
 	e := m.getEntry(r, cycle, b, row)
 	if r.Kind != memreq.Writeback {
@@ -325,11 +343,15 @@ func (m *Memory) stepChannel(cycle uint64, ch *channel, done []*memreq.Request) 
 			ch.inflight = ch.inflight[:len(ch.inflight)-1]
 			if e.req.Kind != memreq.Writeback {
 				ch.reads.Del(e.req.Addr)
+				e.req.StampSpan(memreq.SpanDRAMDone, cycle)
 				done = append(done, e.req)
 			} else {
 				m.pool.Put(e.req)
 			}
 			// Merged entries never hold writebacks (Enqueue only merges reads).
+			for _, mr := range e.merged {
+				mr.StampSpan(memreq.SpanDRAMDone, cycle)
+			}
 			done = append(done, e.merged...)
 			m.putEntry(e)
 		}
@@ -352,9 +374,11 @@ func (m *Memory) stepChannel(cycle uint64, ch *channel, done []*memreq.Request) 
 		}
 	}
 	e := ch.queue.RemoveAt(best)
+	e.req.StampSpan(memreq.SpanDRAMSched, cycle)
 	// L2 slice: a hit bypasses the banks and the data bus entirely.
 	if ch.l2 != nil && e.req.Kind != memreq.Writeback && ch.l2.Lookup(e.req.Addr) {
 		m.stats.L2Hits++
+		e.req.SpanFlag(memreq.FlagL2Hit)
 		e.doneAt = cycle + uint64(m.cfg.L2HitLatency)
 		ch.track(e)
 		ch.inflight = append(ch.inflight, e)
@@ -381,17 +405,21 @@ func (m *Memory) service(cycle uint64, ch *channel, e *entry) {
 	if bk.readyAt > start {
 		start = bk.readyAt
 	}
+	e.req.StampSpan(memreq.SpanDRAMActivate, start)
 	var access int
 	switch {
 	case bk.openRow == row:
 		access = m.cfg.TCL
 		m.stats.RowHits++
+		e.req.SpanFlag(memreq.FlagRowHit)
 	case bk.openRow == -1:
 		access = m.cfg.TRCD + m.cfg.TCL
 		m.stats.RowClosed++
+		e.req.SpanFlag(memreq.FlagRowClosed)
 	default:
 		access = m.cfg.TRP + m.cfg.TRCD + m.cfg.TCL
 		m.stats.RowMisses++
+		e.req.SpanFlag(memreq.FlagRowMiss)
 	}
 	bk.openRow = row
 	bankDone := start + uint64(access)

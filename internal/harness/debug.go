@@ -12,6 +12,8 @@
 //	/tolerance   live per-core latency-tolerance snapshots (ready warps,
 //	             MRQ headroom, oldest-fill age) of running simulations
 //	             with cycle accounting attached
+//	/spans       live per-source latency waterfalls (plain text, one
+//	             table per run) of simulations with span tracing attached
 //	/debug/pprof the standard Go profiling endpoints
 //
 // The server only reads run states the runner publishes at start/finish
@@ -52,6 +54,7 @@ type runState struct {
 	started time.Time
 	snap    []obs.SnapshotEntry // non-nil only for recent finished runs
 	cpi     *obs.CPIStack       // live cycle accounting while running
+	spans   *obs.SpanSet        // live span aggregation while running
 }
 
 // DebugServer is the optional live-introspection HTTP server. A nil
@@ -91,6 +94,7 @@ func NewDebugServer(addr string) (*DebugServer, error) {
 	mux.HandleFunc("/healthz", d.serveHealthz)
 	mux.HandleFunc("/store", d.serveStore)
 	mux.HandleFunc("/tolerance", d.serveTolerance)
+	mux.HandleFunc("/spans", d.serveSpans)
 	// net/http/pprof registers on http.DefaultServeMux; with a private mux
 	// the handlers must be wired explicitly.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -156,13 +160,14 @@ func (d *DebugServer) SetSnapshotKeep(n int) {
 	}
 }
 
-// RunLive attaches a running simulation's cycle-accounting state so
-// /tolerance can serve its latest latency-tolerance snapshot while the
-// run is in flight. CPIStack publishes epoch snapshots under its own
-// mutex, so reads never touch the simulation's hot loop. A nil cpi (no
-// cycle accounting) is ignored.
-func (d *DebugServer) RunLive(key string, cpi *obs.CPIStack) {
-	if d == nil || cpi == nil {
+// RunLive attaches a running simulation's observability state so
+// /tolerance can serve its latest latency-tolerance snapshot and /spans
+// its latency waterfall while the run is in flight. CPIStack publishes
+// epoch snapshots and SpanSet aggregates finished spans under their own
+// mutexes, so reads never touch the simulation's hot loop. Nil
+// arguments (features not enabled) are ignored individually.
+func (d *DebugServer) RunLive(key string, cpi *obs.CPIStack, spans *obs.SpanSet) {
+	if d == nil || (cpi == nil && spans == nil) {
 		return
 	}
 	d.mu.Lock()
@@ -177,6 +182,7 @@ func (d *DebugServer) RunLive(key string, cpi *obs.CPIStack) {
 		d.runs[key] = st
 	}
 	st.cpi = cpi
+	st.spans = spans
 }
 
 // RunStarted publishes that the runner began executing key.
@@ -449,6 +455,30 @@ func (d *DebugServer) serveTolerance(w http.ResponseWriter, _ *http.Request) {
 	enc.Encode(struct {
 		Runs []tolRun `json:"runs"`
 	}{runs}) //nolint:errcheck // client went away
+}
+
+// serveSpans renders the live latency waterfall of every run that
+// attached span tracing (RunLive), in submission order, as plain text —
+// the same per-source table cmd/spanstat renders from the JSONL.
+// Finished runs keep their final waterfall.
+func (d *DebugServer) serveSpans(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	var runs []*runState
+	for _, k := range d.order {
+		if st := d.runs[k]; st.spans != nil {
+			runs = append(runs, st)
+		}
+	}
+	d.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, st := range runs {
+		// WriteTable locks the SpanSet itself, so a mid-run snapshot is
+		// consistent without holding the server mutex across renders.
+		fmt.Fprintf(w, "%s (%s): %d/%d spans finished\n", st.Key, st.Status,
+			st.spans.Finished(), st.spans.Started())
+		st.spans.WriteTable(w) //nolint:errcheck // client went away
+		fmt.Fprintln(w)
+	}
 }
 
 // promName sanitises a registry metric name ("smcore.demand_latency")

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"mtprefetch/internal/core"
+	"mtprefetch/internal/memreq"
 	"mtprefetch/internal/obs"
 	"mtprefetch/internal/store"
 )
@@ -168,7 +169,7 @@ func TestDebugServerTolerance(t *testing.T) {
 	cpi := obs.NewCPIStack(100)
 	cpi.Core(0)
 	cpi.CloseEpoch(100, []obs.Tolerance{{Core: 0, ReadyWarps: 4, MRQFree: 6, OldestFillAge: 17}}, nil)
-	d.RunLive("live", cpi)
+	d.RunLive("live", cpi, nil)
 
 	var tol struct {
 		Runs []struct {
@@ -230,7 +231,7 @@ func TestDebugServerSetSnapshotKeep(t *testing.T) {
 func TestDebugServerNilSafe(t *testing.T) {
 	var d *DebugServer
 	d.RunStarted("x")
-	d.RunLive("x", obs.NewCPIStack(0))
+	d.RunLive("x", obs.NewCPIStack(0), nil)
 	d.RunFinished("x", nil, nil)
 	d.SetSnapshotKeep(5)
 	if d.Addr() != "" {
@@ -255,7 +256,7 @@ func TestDebugServerClosedHooksInert(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.RunStarted("late")
-	d.RunLive("late", obs.NewCPIStack(100))
+	d.RunLive("late", obs.NewCPIStack(100), nil)
 	d.RunRetried("late", 1, errors.New("flake"))
 	d.RunCached("late")
 	d.RunFinished("late", []obs.SnapshotEntry{{Name: "x", Component: "c"}}, nil)
@@ -401,4 +402,47 @@ var storeTestEntry = store.Entry{
 	Key:         "k",
 	Fingerprint: strings.Repeat("ab", 32),
 	Result:      &core.Result{Benchmark: "stream", Cycles: 1},
+}
+
+// TestDebugServerSpans: runs that attach live span tracing via RunLive
+// serve their current waterfall snapshot; runs without it are skipped.
+func TestDebugServerSpans(t *testing.T) {
+	d, err := NewDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	base := "http://" + d.Addr()
+
+	d.RunStarted("plain")
+	d.RunStarted("live")
+	ss := obs.NewSpanSet(1) // sample everything
+	r := &memreq.Request{CoreID: 2, WarpID: 5}
+	ss.Start(r, 0, 100)
+	if r.Span == nil {
+		t.Fatal("1-in-1 sampling attached no span")
+	}
+	r.StampSpan(memreq.SpanMRQEnqueue, 101)
+	r.StampSpan(memreq.SpanMRQDequeue, 104)
+	r.StampSpan(memreq.SpanNoCReqInject, 104)
+	r.StampSpan(memreq.SpanNoCReqDeliver, 124)
+	r.StampSpan(memreq.SpanDRAMArrive, 124)
+	r.StampSpan(memreq.SpanDRAMSched, 140)
+	r.StampSpan(memreq.SpanDRAMActivate, 142)
+	r.StampSpan(memreq.SpanDRAMDone, 190)
+	r.StampSpan(memreq.SpanNoCRespInject, 190)
+	r.StampSpan(memreq.SpanNoCRespDeliver, 210)
+	r.StampSpan(memreq.SpanFill, 210)
+	ss.Finish(r, 210, memreq.TermFill)
+	d.RunLive("live", nil, ss)
+
+	body := get(t, base+"/spans")
+	if strings.Contains(body, "plain") {
+		t.Errorf("/spans lists a run without span tracing:\n%s", body)
+	}
+	for _, want := range []string{"live (running): 1/1 spans finished", "dramsvc%", "none"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/spans missing %q:\n%s", want, body)
+		}
+	}
 }

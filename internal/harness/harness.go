@@ -366,10 +366,11 @@ func (r *runner) attempt(key string, o core.Options) (res *core.Result, ob *obs.
 	o.NoCycleSkip = r.c.NoCycleSkip
 	o.Shards = r.c.shards()
 	if o.Obs != nil {
-		// Live latency-tolerance telemetry: CPIStack publishes epoch
-		// snapshots under its own mutex, so /tolerance reads are safe
-		// while the run is in flight.
-		r.c.Debug.RunLive(key, o.Obs.CPI)
+		// Live telemetry: CPIStack publishes epoch snapshots and SpanSet
+		// aggregates finished spans under their own mutexes, so
+		// /tolerance and /spans reads are safe while the run is in
+		// flight.
+		r.c.Debug.RunLive(key, o.Obs.CPI, o.Obs.Spans)
 	}
 	if o.Obs == nil && r.c.CrashDir != "" {
 		// No sink, but crash dumps are wanted: attach a private tracer so

@@ -154,7 +154,7 @@ func TestStoreResumeByteIdentical(t *testing.T) {
 			t.Fatal(err)
 		}
 		var metrics, cpis bytes.Buffer
-		sink, err := obs.NewSink(&metrics, nil, nil, &cpis, obs.Config{SampleEvery: 5000})
+		sink, err := obs.NewSink(&metrics, nil, nil, &cpis, nil, obs.Config{SampleEvery: 5000})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -222,6 +222,11 @@ type Request struct {
 	// OutNone until (and unless) attribution decides it.
 	Outcome Outcome
 
+	// Span is the lifecycle trace record for a sampled request, nil for
+	// the (vast) unsampled majority. Pool.Get's struct-literal reset
+	// clears it on recycle.
+	Span *Span
+
 	// Waiters are warps to wake when the fill returns.
 	Waiters []Waiter
 }

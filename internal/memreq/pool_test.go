@@ -48,3 +48,34 @@ func TestPoolRecycleClearsAttribution(t *testing.T) {
 		t.Errorf("recycled prefetch not reset: %+v", r3)
 	}
 }
+
+// TestPoolRecycleClearsSpan: a recycled Request must not carry the
+// previous lifecycle's span record. A leaked span would stamp a fresh
+// (unsampled) request into a finished trace, double-finishing it and
+// corrupting the waterfall — the span analogue of the attribution leak
+// above.
+func TestPoolRecycleClearsSpan(t *testing.T) {
+	p := NewPool()
+	r := p.Get(0x1040, 64, Demand, 1, 2, 3, 10)
+	r.Span = &Span{ID: 42}
+	r.Span.StampAt(SpanIssue, 10)
+	r.Span.StampAt(SpanMRQEnqueue, 10)
+	r.SpanFlag(FlagRowHit)
+	r.Span.Term = TermFill
+	p.Put(r)
+
+	r2 := p.Get(0x2080, 64, Demand, 0, 1, 8, 20)
+	if r2 != r {
+		t.Fatal("pool did not recycle the request")
+	}
+	if r2.Span != nil {
+		t.Errorf("recycled request leaked span %+v", r2.Span)
+	}
+	// StampSpan / SpanFlag on the recycled (unsampled) request must be
+	// no-ops, not resurrect the old span.
+	r2.StampSpan(SpanFill, 30)
+	r2.SpanFlag(FlagL2Hit)
+	if r2.Span != nil {
+		t.Error("stamping an unsampled request created a span")
+	}
+}

@@ -82,6 +82,7 @@ func (q *Queue) Register(r *obs.Registry, l obs.Labels) {
 	r.CounterU64("mrq.prefetch_merged", l, &st.PrefetchMerged)
 	r.CounterU64("mrq.rejects", l, &st.Rejects)
 	r.Gauge("mrq.outstanding", l, func() float64 { return float64(q.outstanding) })
+	r.Gauge("mrq.sendq", l, func() float64 { return float64(q.sendq.Len()) })
 }
 
 // SetPFReport attaches prefetch attribution: the queue reports

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"mtprefetch/internal/memreq"
+	"mtprefetch/internal/obs"
 	"mtprefetch/internal/ring"
 	"mtprefetch/internal/simerr"
 )
@@ -47,6 +48,20 @@ func New(latency, maxInjectPerCycle int) *Network {
 
 // Stats returns a snapshot of the counters.
 func (n *Network) Stats() Stats { return n.stats }
+
+// Register wires the network's lifetime counters and its per-direction
+// in-flight gauges into the registry. The gauges expose the link depth
+// each way — the queue a span's noc_req / noc_resp stage waits in.
+func (n *Network) Register(r *obs.Registry, l obs.Labels) {
+	st := &n.stats
+	r.CounterU64("noc.requests_injected", l, &st.RequestsInjected)
+	r.CounterU64("noc.responses_injected", l, &st.ResponsesInjected)
+	r.CounterU64("noc.requests_delivered", l, &st.RequestsDelivered)
+	r.CounterU64("noc.responses_delivered", l, &st.ResponsesDelivered)
+	r.CounterU64("noc.inject_stalls", l, &st.InjectStalls)
+	r.Gauge("noc.req_in_flight", l, func() float64 { return float64(n.toMem.Len()) })
+	r.Gauge("noc.resp_in_flight", l, func() float64 { return float64(n.toCore.Len()) })
+}
 
 func (n *Network) tick(cycle uint64) {
 	if cycle != n.curCycle {

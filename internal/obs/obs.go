@@ -38,6 +38,13 @@ type Config struct {
 	// CPIEpoch is the CPI-stack epoch length in cycles; 0 inherits
 	// SampleEvery when the sampler is on, else DefaultCPIEpoch.
 	CPIEpoch uint64
+	// Spans enables request-level span tracing: a deterministic sample
+	// of memory requests carries a lifecycle stamp record, aggregated
+	// into per-(source, stage) latency histograms (span.go).
+	Spans bool
+	// SpanEvery is the span sampling divisor (one in SpanEvery requests
+	// is sampled); 0 means DefaultSpanEvery.
+	SpanEvery uint64
 }
 
 // DefaultTraceCapacity bounds the trace ring at a size that holds the
@@ -53,6 +60,7 @@ type Observer struct {
 	Tracer   *Tracer
 	PF       *PFReport
 	CPI      *CPIStack
+	Spans    *SpanSet
 }
 
 // New builds an Observer with a fresh Registry plus whatever cfg enables.
@@ -75,6 +83,9 @@ func New(cfg Config) *Observer {
 			every = cfg.SampleEvery // 0 falls through to DefaultCPIEpoch
 		}
 		o.CPI = NewCPIStack(every)
+	}
+	if cfg.Spans {
+		o.Spans = NewSpanSet(cfg.SpanEvery)
 	}
 	return o
 }

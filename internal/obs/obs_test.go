@@ -219,7 +219,7 @@ func TestSinkDisabled(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Error(err)
 	}
-	s2, err := NewSink(nil, nil, nil, nil, Config{SampleEvery: 100})
+	s2, err := NewSink(nil, nil, nil, nil, nil, Config{SampleEvery: 100})
 	if err != nil || s2 != nil {
 		t.Errorf("NewSink(nil, nil, nil) = %v, %v; want nil sink", s2, err)
 	}
@@ -227,7 +227,7 @@ func TestSinkDisabled(t *testing.T) {
 
 func TestSinkMultiRun(t *testing.T) {
 	var mbuf, tbuf bytes.Buffer
-	s, err := NewSink(&mbuf, &tbuf, nil, nil, Config{SampleEvery: 50})
+	s, err := NewSink(&mbuf, &tbuf, nil, nil, nil, Config{SampleEvery: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +280,7 @@ func sinkObserver(s *Sink, cycles uint64) *Observer {
 
 func TestSinkConcurrentFinish(t *testing.T) {
 	var mbuf, tbuf bytes.Buffer
-	s, err := NewSink(&mbuf, &tbuf, nil, nil, Config{SampleEvery: 10})
+	s, err := NewSink(&mbuf, &tbuf, nil, nil, nil, Config{SampleEvery: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +335,7 @@ func TestSinkConcurrentFinish(t *testing.T) {
 
 func TestSinkFinishIdempotent(t *testing.T) {
 	var mbuf, tbuf bytes.Buffer
-	s, err := NewSink(&mbuf, &tbuf, nil, nil, Config{SampleEvery: 10})
+	s, err := NewSink(&mbuf, &tbuf, nil, nil, nil, Config{SampleEvery: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +365,7 @@ func TestSinkFinishIdempotent(t *testing.T) {
 
 func TestSinkFinishAfterCloseIsNoop(t *testing.T) {
 	var mbuf, tbuf bytes.Buffer
-	s, err := NewSink(&mbuf, &tbuf, nil, nil, Config{SampleEvery: 10})
+	s, err := NewSink(&mbuf, &tbuf, nil, nil, nil, Config{SampleEvery: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

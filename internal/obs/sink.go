@@ -31,19 +31,20 @@ type Sink struct {
 	trace    *TraceWriter
 	pfreport io.Writer
 	cpistack io.Writer
+	spans    io.Writer
 	runs     int
 	done     map[string]bool
 	closed   bool
 }
 
-// NewSink builds a sink. metrics, trace, pfreport, and cpistack may each
-// be nil to disable that output; when all are nil the sink itself is nil
-// (disabled).
-func NewSink(metrics, trace, pfreport, cpistack io.Writer, cfg Config) (*Sink, error) {
-	if metrics == nil && trace == nil && pfreport == nil && cpistack == nil {
+// NewSink builds a sink. metrics, trace, pfreport, cpistack, and spans
+// may each be nil to disable that output; when all are nil the sink
+// itself is nil (disabled).
+func NewSink(metrics, trace, pfreport, cpistack, spans io.Writer, cfg Config) (*Sink, error) {
+	if metrics == nil && trace == nil && pfreport == nil && cpistack == nil && spans == nil {
 		return nil, nil
 	}
-	s := &Sink{cfg: cfg, metrics: metrics, pfreport: pfreport, cpistack: cpistack, done: make(map[string]bool)}
+	s := &Sink{cfg: cfg, metrics: metrics, pfreport: pfreport, cpistack: cpistack, spans: spans, done: make(map[string]bool)}
 	if metrics == nil {
 		s.cfg.SampleEvery = 0
 	}
@@ -61,6 +62,7 @@ func NewSink(metrics, trace, pfreport, cpistack io.Writer, cfg Config) (*Sink, e
 	}
 	s.cfg.PFReport = pfreport != nil
 	s.cfg.CPIStack = cpistack != nil
+	s.cfg.Spans = spans != nil
 	return s, nil
 }
 
@@ -90,6 +92,9 @@ func (s *Sink) Streams() []string {
 	}
 	if s.cpistack != nil {
 		out = append(out, "cpistack")
+	}
+	if s.spans != nil {
+		out = append(out, "spans")
 	}
 	return out
 }
@@ -131,6 +136,13 @@ func (s *Sink) Capture(runKey string, o *Observer) (map[string][]byte, error) {
 		}
 		out["cpistack"] = buf.Bytes()
 	}
+	if s.spans != nil && o.Spans != nil {
+		var buf bytes.Buffer
+		if err := o.Spans.WriteJSONL(&buf, runKey); err != nil {
+			return nil, fmt.Errorf("obs: capture spans for %s: %w", runKey, err)
+		}
+		out["spans"] = buf.Bytes()
+	}
 	return out, nil
 }
 
@@ -151,7 +163,7 @@ func (s *Sink) FinishStored(runKey string, artifacts map[string][]byte) error {
 	for _, st := range []struct {
 		name string
 		w    io.Writer
-	}{{"metrics", s.metrics}, {"pfreport", s.pfreport}, {"cpistack", s.cpistack}} {
+	}{{"metrics", s.metrics}, {"pfreport", s.pfreport}, {"cpistack", s.cpistack}, {"spans", s.spans}} {
 		if st.w == nil {
 			continue
 		}
@@ -197,6 +209,14 @@ func (s *Sink) Finish(runKey string, o *Observer) error {
 			return fmt.Errorf("obs: trace for %s: %w", runKey, err)
 		}
 	}
+	if s.trace != nil && o.Spans != nil {
+		// Flow events come from the span records, never from the Tracer
+		// ring: enabling spans changes nothing in the ring, it only
+		// appends this extra flow section per run.
+		if err := s.trace.AddSpanFlows(s.runs, o.Spans); err != nil {
+			return fmt.Errorf("obs: span flows for %s: %w", runKey, err)
+		}
+	}
 	if s.pfreport != nil && o.PF != nil {
 		var buf bytes.Buffer
 		if err := o.PF.WriteJSONL(&buf, runKey); err != nil {
@@ -213,6 +233,15 @@ func (s *Sink) Finish(runKey string, o *Observer) error {
 		}
 		if _, err := s.cpistack.Write(buf.Bytes()); err != nil {
 			return fmt.Errorf("obs: cpistack for %s: %w", runKey, err)
+		}
+	}
+	if s.spans != nil && o.Spans != nil {
+		var buf bytes.Buffer
+		if err := o.Spans.WriteJSONL(&buf, runKey); err != nil {
+			return fmt.Errorf("obs: spans for %s: %w", runKey, err)
+		}
+		if _, err := s.spans.Write(buf.Bytes()); err != nil {
+			return fmt.Errorf("obs: spans for %s: %w", runKey, err)
 		}
 	}
 	s.runs++

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"mtprefetch/internal/memreq"
 )
 
 // EventKind enumerates the structured simulation events the tracer
@@ -258,6 +260,56 @@ func (tw *TraceWriter) AddRun(pid int, name, trackPrefix string, t *Tracer) erro
 	}
 	for i := range events {
 		if err := tw.emit(eventJSON(pid, &events[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddSpanFlows appends one flow-event chain per filled span under pid:
+// a flow start ("ph":"s") at issue, a step ("ph":"t") at each stage
+// boundary the span crossed, and a binding end ("ph":"f") at the fill.
+// Loaded in Perfetto alongside the run's event tracks, the arrows
+// visualise where each sampled request spent its latency. Records come
+// from SpanSet.Records (sorted by id), so the section is byte-stable
+// across -j/-shards/-noskip; it never touches the Tracer ring.
+func (tw *TraceWriter) AddSpanFlows(pid int, ss *SpanSet) error {
+	if tw == nil || ss == nil {
+		return nil
+	}
+	steps := []memreq.SpanSite{
+		memreq.SpanMRQDequeue, memreq.SpanNoCReqDeliver,
+		memreq.SpanDRAMSched, memreq.SpanDRAMDone,
+	}
+	for _, rec := range ss.Records() {
+		if rec.Term != memreq.TermFill {
+			continue
+		}
+		id := fmt.Sprintf("0x%x", rec.ID)
+		flow := func(ph string, site memreq.SpanSite) map[string]any {
+			return map[string]any{
+				"name": "memspan", "cat": "span", "ph": ph, "id": id,
+				"ts": rec.Stamp[site], "pid": pid, "tid": rec.Core,
+			}
+		}
+		start := flow("s", memreq.SpanIssue)
+		start["args"] = map[string]any{
+			"source": rec.Source.String(), "warp": rec.Warp, "pc": rec.PC,
+		}
+		if err := tw.emit(start); err != nil {
+			return err
+		}
+		for _, site := range steps {
+			if !rec.has(site) {
+				continue
+			}
+			if err := tw.emit(flow("t", site)); err != nil {
+				return err
+			}
+		}
+		end := flow("f", memreq.SpanFill)
+		end["bp"] = "e"
+		if err := tw.emit(end); err != nil {
 			return err
 		}
 	}

@@ -112,6 +112,13 @@ type Core struct {
 	trace *obs.Tracer   // nil: event tracing disabled
 	pf    *obs.PFReport // nil: prefetch attribution disabled
 	cpi   *obs.CoreCPI  // nil: cycle accounting disabled
+	spans *obs.SpanSet  // nil: request span tracing disabled
+
+	// spanSeq numbers every candidate request (demand or prefetch) this
+	// core creates, in issue order. It feeds the deterministic span
+	// sampling hash and advances only while spans are enabled, so the
+	// spans-off issue path pays a single nil check.
+	spanSeq uint64
 
 	// Cycle-accounting stall cause: stallMRQ counts warps stalled on MRQ
 	// capacity since the last wake (the capacity stall can only clear at
@@ -318,6 +325,23 @@ func (c *Core) AttachPFReport(p *obs.PFReport) {
 // accounting off and the issue path pays only nil checks.
 func (c *Core) AttachCPI(b *obs.CoreCPI) { c.cpi = b }
 
+// AttachSpans enables request span tracing: every demand and prefetch
+// request the core creates runs the deterministic sampling decision,
+// and the sampled ones carry lifecycle stamp records from issue to
+// their terminal. During sharded runs the attached set is the core's
+// private shard, merged at collection time. A nil argument leaves span
+// tracing off and the request paths pay only nil checks.
+func (c *Core) AttachSpans(ss *obs.SpanSet) { c.spans = ss }
+
+// startSpan runs the span sampling decision for a just-created request.
+func (c *Core) startSpan(r *memreq.Request, cycle uint64) {
+	if c.spans == nil {
+		return
+	}
+	c.spanSeq++
+	c.spans.Start(r, c.spanSeq, cycle)
+}
+
 // stallBucket classifies a non-issuing cycle by the core's current stall
 // cause, read off the issue-index state (see the activeMask/issueMask
 // comment): no resident executing warp means the grid drained here
@@ -492,6 +516,10 @@ func (c *Core) PopSend() *memreq.Request {
 
 // Fill delivers a returned memory response to the core.
 func (c *Core) Fill(cycle uint64, r *memreq.Request) {
+	// The delivered request reaches its terminal here even when its MRQ
+	// entry is already gone (inter-core merge leftovers below).
+	r.StampSpan(memreq.SpanFill, cycle)
+	c.spans.Finish(r, cycle, memreq.TermFill)
 	c.wake()
 	entry := c.MRQ.Complete(r.Addr)
 	if entry == nil {
@@ -926,8 +954,10 @@ func (c *Core) issueMemory(cycle uint64, slot int, in *kernel.Instr) (bool, erro
 		}
 		r := c.pool.Get(addr, c.cfg.BlockBytes, memreq.Demand, c.id, gwid, pc, cycle)
 		r.Waiters = append(r.Waiters, memreq.Waiter{Warp: int32(slot), Reg: uint8(in.Dst)})
+		c.startSpan(r, cycle)
 		switch c.MRQ.Add(r) {
 		case mrq.Accepted:
+			r.StampSpan(memreq.SpanMRQEnqueue, cycle)
 			c.pending[slot*c.numRegs+int(in.Dst)]++
 			c.wOutstand[slot]++
 		case mrq.Merged:
@@ -935,6 +965,7 @@ func (c *Core) issueMemory(cycle uint64, slot int, in *kernel.Instr) (bool, erro
 			c.wOutstand[slot]++
 			// MergeDemand copied the waiter into the surviving entry; this
 			// request is dead and can be recycled.
+			c.spans.Finish(r, cycle, memreq.TermMRQMerged)
 			c.pool.Put(r)
 		case mrq.Rejected:
 			// Capacity was checked above; a reject can only happen if
@@ -1010,7 +1041,10 @@ func (c *Core) issuePrefetch(cycle uint64, gwid, pc int, src memreq.Source, addr
 	addr = memreq.BlockAlign(addr, c.cfg.BlockBytes)
 	c.stats.PrefetchesGenerated++
 	var prov memreq.Provenance
-	if c.pf != nil {
+	if c.pf != nil || c.spans != nil {
+		// Spans reuse the provenance plumbing for per-source latency
+		// attribution, so the stamp is built whenever either consumer is
+		// on; it never feeds back into the simulated machine.
 		prov = memreq.Provenance{
 			Source:  src,
 			Degree:  c.Throt.StampDegree(),
@@ -1042,8 +1076,10 @@ func (c *Core) issuePrefetch(cycle uint64, gwid, pc int, src memreq.Source, addr
 	}
 	r := c.pool.Get(addr, c.cfg.BlockBytes, memreq.Prefetch, c.id, gwid, pc, cycle)
 	r.Prov = prov
+	c.startSpan(r, cycle)
 	switch c.MRQ.Add(r) {
 	case mrq.Accepted:
+		r.StampSpan(memreq.SpanMRQEnqueue, cycle)
 		c.stats.PrefetchesIssued++
 		c.pf.Issued(prov)
 		if c.trace != nil {
@@ -1053,11 +1089,13 @@ func (c *Core) issuePrefetch(cycle uint64, gwid, pc int, src memreq.Source, addr
 		c.stats.PrefetchMergedMRQ++
 		r.Outcome = memreq.OutMergedMRQ
 		c.pf.Record(prov, memreq.OutMergedMRQ)
+		c.spans.Finish(r, cycle, memreq.TermMRQMerged)
 		c.pool.Put(r)
 	case mrq.Rejected:
 		c.stats.DroppedQueueFull++
 		r.Outcome = memreq.OutDroppedQueueFull
 		c.pf.Record(prov, memreq.OutDroppedQueueFull)
+		c.spans.Finish(r, cycle, memreq.TermMRQRejected)
 		c.pool.Put(r)
 	}
 }

@@ -1,0 +1,150 @@
+// Package statcli factors the command-line machinery shared by the
+// JSONL post-processing tools (cmd/pfstat, cmd/cpistat, cmd/spanstat):
+// the common -run filter flag, the stdin-or-files read loop over
+// unbounded JSONL lines, the tailored empty-input diagnostic, and
+// buffered stdout rendering with the tools' common exit codes (0 ok;
+// 1 read/parse failure or no matching records; 2 usage error).
+//
+// A tool provides its aggregation state behind four callbacks and calls
+// Main; everything the three tools used to duplicate lives here.
+package statcli
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+
+	"mtprefetch/internal/jsonl"
+)
+
+// Probe is the minimal envelope every obs JSONL line carries. The
+// framework parses it once per line to apply the -run filter, then
+// hands both the probe and the raw line to the tool, which unmarshals
+// into its own record schema.
+type Probe struct {
+	Record string `json:"record"`
+	Run    string `json:"run"`
+}
+
+// Tool describes one post-processing command.
+type Tool struct {
+	// Name prefixes every diagnostic ("pfstat").
+	Name string
+	// Usage is the full usage line printed on flag errors (exit 2).
+	Usage string
+	// EmptyWhat names the record kinds in the empty-input error, e.g.
+	// "pfreport/pfsummary records".
+	EmptyWhat string
+	// EmptyFlag names the mtpref flag the empty-input hint suggests,
+	// e.g. "-pfreport".
+	EmptyFlag string
+	// Flags registers tool-specific flags; may be nil. The -run filter
+	// is registered by the framework.
+	Flags func(fs *flag.FlagSet)
+	// Line aggregates one non-empty line whose run key passed the
+	// filter. A returned error aborts with exit 1.
+	Line func(p Probe, line []byte) error
+	// Empty reports whether nothing was aggregated, which exits 1 with
+	// the tailored diagnostic instead of printing a zero-row table.
+	Empty func() bool
+	// Render writes the final output.
+	Render func(w io.Writer) error
+}
+
+// Read consumes one JSONL stream, calling line for every non-empty
+// input line whose run key matches filter (nil keeps all).
+func Read(r io.Reader, filter *regexp.Regexp, line func(Probe, []byte) error) error {
+	sc := jsonl.NewReader(r)
+	for {
+		b, err := sc.Line()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if len(b) == 0 {
+			continue
+		}
+		var p Probe
+		if err := json.Unmarshal(b, &p); err != nil {
+			return fmt.Errorf("bad JSONL line: %w", err)
+		}
+		if filter != nil && !filter.MatchString(p.Run) {
+			continue
+		}
+		if err := line(p, b); err != nil {
+			return err
+		}
+	}
+}
+
+// Main runs the tool end to end: parse flags, read stdin or the file
+// arguments, fail on empty input, render. It exits the process.
+func Main(t Tool) {
+	fs := flag.NewFlagSet(t.Name, flag.ExitOnError)
+	runPat := fs.String("run", "", "only aggregate runs whose key matches this regexp")
+	if t.Flags != nil {
+		t.Flags(fs)
+	}
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, t.Usage)
+		os.Exit(2)
+	}
+	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
+
+	var filter *regexp.Regexp
+	if *runPat != "" {
+		re, err := regexp.Compile(*runPat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, t.Name+":", err)
+			os.Exit(2)
+		}
+		filter = re
+	}
+
+	files := fs.Args()
+	if len(files) == 0 {
+		if err := Read(os.Stdin, filter, t.Line); err != nil {
+			fmt.Fprintln(os.Stderr, t.Name+": stdin:", err)
+			os.Exit(1)
+		}
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, t.Name+":", err)
+			os.Exit(1)
+		}
+		err = Read(f, filter, t.Line)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %s: %v\n", t.Name, path, err)
+			os.Exit(1)
+		}
+	}
+
+	if t.Empty() {
+		msg := fmt.Sprintf("%s: no %s in input (was the run started with %s?)",
+			t.Name, t.EmptyWhat, t.EmptyFlag)
+		if filter != nil {
+			msg = fmt.Sprintf("%s: no %s match -run %q", t.Name, t.EmptyWhat, *runPat)
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(1)
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	if err := t.Render(out); err != nil {
+		fmt.Fprintln(os.Stderr, t.Name+":", err)
+		os.Exit(1)
+	}
+	if err := out.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, t.Name+":", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,87 @@
+package statcli
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// collect runs Read over input and returns the probes that reached the
+// line callback.
+func collect(t *testing.T, input string, filter *regexp.Regexp) []Probe {
+	t.Helper()
+	var got []Probe
+	if err := Read(strings.NewReader(input), filter, func(p Probe, line []byte) error {
+		if len(line) == 0 {
+			t.Error("line callback received an empty line")
+		}
+		got = append(got, p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestReadParsesProbeAndSkipsBlanks(t *testing.T) {
+	input := `{"record":"a","run":"r1","extra":1}` + "\n\n" +
+		`{"record":"b","run":"r2"}` + "\n"
+	got := collect(t, input, nil)
+	if len(got) != 2 || got[0] != (Probe{Record: "a", Run: "r1"}) ||
+		got[1] != (Probe{Record: "b", Run: "r2"}) {
+		t.Errorf("probes = %+v", got)
+	}
+}
+
+func TestReadRunFilter(t *testing.T) {
+	input := `{"record":"x","run":"base/monte"}` + "\n" +
+		`{"record":"x","run":"hw/monte"}` + "\n" +
+		`{"record":"x","run":"hw/stream"}` + "\n"
+	got := collect(t, input, regexp.MustCompile(`^hw/`))
+	if len(got) != 2 || got[0].Run != "hw/monte" || got[1].Run != "hw/stream" {
+		t.Errorf("filtered probes = %+v", got)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	err := Read(strings.NewReader("not json\n"), nil, func(Probe, []byte) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "bad JSONL line") {
+		t.Errorf("garbage line returned %v", err)
+	}
+}
+
+// TestReadLongLines: the reader must survive lines far beyond
+// bufio.Scanner's default token limit (run keys are unbounded).
+func TestReadLongLines(t *testing.T) {
+	long := strings.Repeat("x", 2<<20)
+	got := collect(t, `{"record":"big","run":"`+long+`"}`+"\n", nil)
+	if len(got) != 1 || got[0].Run != long {
+		t.Fatalf("long line lost: %d probes", len(got))
+	}
+}
+
+// TestReadLineErrorPropagates: a tool callback error aborts the read
+// with that error.
+func TestReadLineErrorPropagates(t *testing.T) {
+	input := `{"record":"a"}` + "\n" + `{"record":"b"}` + "\n"
+	calls := 0
+	err := Read(strings.NewReader(input), nil, func(p Probe, _ []byte) error {
+		calls++
+		if p.Record == "a" {
+			return errBoom
+		}
+		return nil
+	})
+	if err != errBoom {
+		t.Errorf("callback error not propagated: %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("read continued after callback error: %d calls", calls)
+	}
+}
+
+var errBoom = &testErr{}
+
+type testErr struct{}
+
+func (*testErr) Error() string { return "boom" }

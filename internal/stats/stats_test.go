@@ -328,3 +328,69 @@ func TestHistogramMinTracking(t *testing.T) {
 		t.Errorf("merge into empty: Min = %d, want 2", fresh.Min)
 	}
 }
+
+// TestHistogramMergeProperty is the exactness contract Merge makes to
+// the sharded simulator: splitting a sample stream across any number of
+// shard histograms and merging must reproduce, field for field, the
+// histogram that saw every sample directly — including every percentile
+// query. Byte-identical sharded output depends on this holding exactly,
+// not approximately.
+func TestHistogramMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	for trial := 0; trial < 50; trial++ {
+		shards := 1 + rng.Intn(8)
+		parts := make([]Histogram, shards)
+		var direct Histogram
+		n := rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			// Mix magnitudes so samples land across many buckets,
+			// including 0 (bucket 0) and wide outliers.
+			v := uint64(rng.Int63()) >> uint(rng.Intn(63))
+			direct.Add(v)
+			parts[rng.Intn(shards)].Add(v)
+		}
+		var merged Histogram
+		for i := range parts {
+			merged.Merge(&parts[i])
+		}
+		if merged != direct {
+			t.Fatalf("trial %d (%d samples, %d shards): merged differs from direct\nmerged: %+v\ndirect: %+v",
+				trial, n, shards, merged, direct)
+		}
+		for _, p := range []float64{0, 25, 50, 90, 95, 99, 100} {
+			if mp, dp := merged.Percentile(p), direct.Percentile(p); mp != dp {
+				t.Fatalf("trial %d: P%.0f = %v merged vs %v direct", trial, p, mp, dp)
+			}
+		}
+	}
+}
+
+// TestHistogramMergeIdentities: merging an empty histogram is a no-op
+// in both directions, and merge order is invisible.
+func TestHistogramMergeIdentities(t *testing.T) {
+	var a Histogram
+	for _, v := range []uint64{3, 0, 77, 1 << 40} {
+		a.Add(v)
+	}
+	var empty Histogram
+	merged := a
+	merged.Merge(&empty)
+	if merged != a {
+		t.Errorf("merging empty changed the histogram: %+v vs %+v", merged, a)
+	}
+	fromEmpty := empty
+	fromEmpty.Merge(&a)
+	if fromEmpty != a {
+		t.Errorf("merge into empty differs from source: %+v vs %+v", fromEmpty, a)
+	}
+	var b Histogram
+	for _, v := range []uint64{12, 5, 1 << 20} {
+		b.Add(v)
+	}
+	ab, ba := a, b
+	ab.Merge(&b)
+	ba.Merge(&a)
+	if ab != ba {
+		t.Errorf("merge is order-sensitive:\na+b: %+v\nb+a: %+v", ab, ba)
+	}
+}
